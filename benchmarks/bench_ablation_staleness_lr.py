@@ -1,0 +1,34 @@
+"""Ablation (Section 5.3 / Listing 1): staleness-dependent learning rate.
+
+The staleness-aware modulation (Zhang et al. [72]) divides each update's
+step by the result's staleness. Under production stragglers (long-tail
+workers deliver very stale gradients) the modulated run must stay stable
+and competitive — the mechanism ASYNC exists to enable.
+"""
+
+from benchmarks.conftest import *  # noqa: F401,F403
+from repro.bench import figures
+
+
+def test_staleness_adaptive_lr_under_pcs(benchmark, run_once):
+    out = run_once(
+        benchmark, figures.ablation_staleness_lr, updates=640, verbose=True,
+    )
+    plain = out["cells"]["plain"]
+    adaptive = out["cells"]["staleness-adaptive"]
+
+    # Both complete and both converge.
+    for res in (plain, adaptive):
+        assert res.updates == 640
+        assert res.final_error < res.initial_error
+
+    # Long-tail stragglers really do deliver stale results in this setup.
+    assert plain.extras["max_staleness_seen"] >= 2
+
+    # Damping stale updates must not blow up; it stays within a modest
+    # factor of the plain run (it trades progress for robustness).
+    assert adaptive.final_error < plain.final_error * 5
+    benchmark.extra_info["final_errors"] = {
+        "plain": plain.final_error,
+        "adaptive": adaptive.final_error,
+    }

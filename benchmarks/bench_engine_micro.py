@@ -1,0 +1,69 @@
+"""Engine micro-benchmarks: substrate overheads in host time.
+
+Unlike the figure benchmarks (which assert virtual-time shapes), these
+measure the real Python cost of the engine's hot paths — useful to keep
+the simulator fast enough for paper-scale sweeps.
+"""
+
+import numpy as np
+
+from repro.cluster.events import EventQueue
+from repro.data.synthetic import make_dense_regression
+from repro.engine.context import ClusterContext
+
+
+def test_event_queue_throughput(benchmark):
+    def churn():
+        q = EventQueue()
+        for i in range(2000):
+            q.push(float(i % 97), lambda: None)
+        n = 0
+        while q:
+            q.pop()
+            n += 1
+        return n
+
+    assert benchmark(churn) == 2000
+
+
+def test_bsp_job_roundtrip_cost(benchmark):
+    """Driver-side cost of one 32-task BSP job on 8 simulated workers."""
+    with ClusterContext(8, seed=0) as ctx:
+        rdd = ctx.parallelize(list(range(3200)), 32).cache()
+        rdd.collect()  # warm cache
+
+        def job():
+            return sum(ctx.run_job(rdd, lambda s, d: sum(d)))
+
+        total = benchmark(job)
+        assert total == sum(range(3200))
+
+
+def test_async_round_cost(benchmark):
+    """One async submission round + drain on 8 simulated workers."""
+    from repro.core import ASYNCContext
+
+    with ClusterContext(8, seed=0) as ctx:
+        rdd = ctx.parallelize(list(range(3200)), 32).cache()
+        rdd.collect()
+        ac = ASYNCContext(ctx)
+
+        def round_trip():
+            rdd.async_reduce(lambda a, b: a + b, ac)
+            ac.wait_all()
+            return sum(r.value for r in ac.drain())
+
+        total = benchmark(round_trip)
+        assert total == sum(range(3200))
+
+
+def test_minibatch_gradient_task(benchmark):
+    """Vectorized block-gradient kernel cost (the per-task payload)."""
+    X, y, _ = make_dense_regression(4096, 96, seed=0)
+    w = np.zeros(96)
+
+    def grad():
+        return X.T @ (X @ w - y)
+
+    g = benchmark(grad)
+    assert g.shape == (96,)

@@ -1,0 +1,25 @@
+"""Figure 2: sync SGD in the engine matches the MLlib-style reference.
+
+Paper claim: "SGD in ASYNC has a similar performance to that of Mllib's".
+Check: after the same number of identical-step iterations, the engine's
+error and the single-process reference's error agree within a small
+factor on all three datasets.
+"""
+
+from benchmarks.conftest import *  # noqa: F401,F403
+from repro.bench import figures
+
+
+def test_fig2_engine_matches_reference(benchmark, run_once):
+    out = run_once(
+        benchmark, figures.fig2_sync_sgd_vs_reference, iterations=50,
+        verbose=True,
+    )
+    for ds, cell in out["cells"].items():
+        ratio = cell["ratio"]
+        assert 0.5 <= ratio <= 2.0, (
+            f"{ds}: engine/reference error ratio {ratio:.3f} out of range"
+        )
+    benchmark.extra_info["ratios"] = {
+        ds: cell["ratio"] for ds, cell in out["cells"].items()
+    }

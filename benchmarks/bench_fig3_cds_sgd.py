@@ -1,0 +1,47 @@
+"""Figure 3: ASGD vs SGD under the Controlled Delay Straggler.
+
+Paper shape: for every delay intensity the asynchronous variant reaches
+the target error sooner; SGD's time-to-target grows with the delay while
+ASGD's barely moves ("converges to the optimal point with almost the same
+rate for different delay intensities"); headline speedup up to ~2x at
+100% delay relative to the no-delay gap.
+"""
+
+from benchmarks.conftest import ASYNC_UPDATES, SYNC_UPDATES
+from benchmarks.conftest import *  # noqa: F401,F403
+from repro.bench import figures
+from repro.bench.figures import CDS_DATASETS, CDS_DELAYS
+
+
+def test_fig3_asgd_vs_sgd_cds(benchmark, run_once):
+    out = run_once(
+        benchmark, figures.fig3_cds_sgd,
+        datasets=CDS_DATASETS, delays=CDS_DELAYS,
+        sync_updates=SYNC_UPDATES, async_updates=ASYNC_UPDATES,
+        verbose=True,
+    )
+    speedups = {}
+    for (ds, delay), cell in out["cells"].items():
+        sp = cell["speedup"]
+        speedups[(ds, delay)] = sp
+        # Async must win at every delay intensity.
+        assert sp > 1.0, f"{ds} @ delay {delay:.0%}: speedup {sp:.2f} <= 1"
+
+    for ds in CDS_DATASETS:
+        # Speedup grows with delay intensity (straggler robustness).
+        assert speedups[(ds, 1.0)] > speedups[(ds, 0.0)], ds
+        # The straggler-attributable factor is ~the paper's 2x headline.
+        relative = speedups[(ds, 1.0)] / speedups[(ds, 0.0)]
+        assert relative > 1.2, f"{ds}: straggler factor {relative:.2f}"
+        # ASGD's own time-to-target barely moves across delays.
+        t_async = [out["cells"][(ds, d)]["async"].time_to_error(
+            out["cells"][(ds, d)]["target"]) for d in CDS_DELAYS]
+        assert max(t_async) < 1.5 * min(t_async), ds
+        # SGD's time-to-target degrades with the delay.
+        t_sync = [out["cells"][(ds, d)]["sync"].time_to_error(
+            out["cells"][(ds, d)]["target"]) for d in CDS_DELAYS]
+        assert t_sync[-1] > 1.5 * t_sync[0], ds
+
+    benchmark.extra_info["speedups"] = {
+        f"{ds}@{d:.0%}": round(sp, 3) for (ds, d), sp in speedups.items()
+    }

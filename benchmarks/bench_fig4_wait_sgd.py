@@ -1,0 +1,33 @@
+"""Figure 4: average wait time per iteration, SGD vs ASGD under CDS.
+
+Paper shape: "in the asynchronous algorithm ... the average wait time
+does not change with changes in delay intensity. However, in the
+synchronous implementation worker wait times increase with a slower
+straggler."
+"""
+
+from benchmarks.conftest import ASYNC_UPDATES, SYNC_UPDATES
+from benchmarks.conftest import *  # noqa: F401,F403
+from repro.bench import figures
+from repro.bench.figures import CDS_DATASETS, CDS_DELAYS
+
+
+def test_fig4_wait_time_sgd(benchmark, run_once):
+    out = run_once(
+        benchmark, figures.fig4_wait_sgd,
+        datasets=CDS_DATASETS, delays=CDS_DELAYS,
+        sync_updates=SYNC_UPDATES, async_updates=ASYNC_UPDATES,
+        verbose=True,
+    )
+    for ds in CDS_DATASETS:
+        sync_waits = [out["cells"][(ds, d)]["sync_wait_ms"]
+                      for d in CDS_DELAYS]
+        async_waits = [out["cells"][(ds, d)]["async_wait_ms"]
+                       for d in CDS_DELAYS]
+        # Sync wait grows monotonically-ish with delay; >2x from 0 to 100%.
+        assert sync_waits[-1] > 2.0 * sync_waits[0], ds
+        assert all(b >= a * 0.95 for a, b in zip(sync_waits, sync_waits[1:])), ds
+        # Async wait is flat across delays.
+        assert max(async_waits) < 1.5 * min(async_waits) + 0.1, ds
+        # And strictly below the sync wait once the straggler bites.
+        assert async_waits[-1] < sync_waits[-1], ds

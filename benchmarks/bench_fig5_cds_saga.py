@@ -1,0 +1,38 @@
+"""Figure 5: ASAGA vs SAGA under the Controlled Delay Straggler.
+
+Paper shape: "increasing the delay intensity negatively affects the
+convergence rate of SAGA while the ASAGA algorithm maintains the same
+convergence rate for different delay intensities."
+"""
+
+from benchmarks.conftest import ASYNC_UPDATES, SYNC_UPDATES
+from benchmarks.conftest import *  # noqa: F401,F403
+from repro.bench import figures
+from repro.bench.figures import CDS_DATASETS, CDS_DELAYS
+
+
+def test_fig5_asaga_vs_saga_cds(benchmark, run_once):
+    out = run_once(
+        benchmark, figures.fig5_cds_saga,
+        datasets=CDS_DATASETS, delays=CDS_DELAYS,
+        sync_updates=SYNC_UPDATES, async_updates=ASYNC_UPDATES,
+        verbose=True,
+    )
+    for ds in CDS_DATASETS:
+        cells = {d: out["cells"][(ds, d)] for d in CDS_DELAYS}
+        for d, cell in cells.items():
+            assert cell["speedup"] > 1.0, (
+                f"{ds} @ {d:.0%}: ASAGA speedup {cell['speedup']:.2f}"
+            )
+        # SAGA degrades with delay; ASAGA's time-to-target stays flat.
+        t_sync = [cells[d]["sync"].time_to_error(cells[d]["target"])
+                  for d in CDS_DELAYS]
+        t_async = [cells[d]["async"].time_to_error(cells[d]["target"])
+                   for d in CDS_DELAYS]
+        assert t_sync[-1] > 1.5 * t_sync[0], ds
+        assert max(t_async) < 1.5 * min(t_async), ds
+
+    benchmark.extra_info["speedups"] = {
+        f"{ds}@{d:.0%}": round(cell["speedup"], 3)
+        for (ds, d), cell in out["cells"].items()
+    }

@@ -1,0 +1,28 @@
+"""Figure 6: average wait time per iteration, SAGA vs ASAGA under CDS.
+
+Paper shape: "With an increase in delay intensity, workers in SAGA wait
+more for new tasks ... ASAGA has the same wait time for all delay
+intensities."
+"""
+
+from benchmarks.conftest import ASYNC_UPDATES, SYNC_UPDATES
+from benchmarks.conftest import *  # noqa: F401,F403
+from repro.bench import figures
+from repro.bench.figures import CDS_DATASETS, CDS_DELAYS
+
+
+def test_fig6_wait_time_saga(benchmark, run_once):
+    out = run_once(
+        benchmark, figures.fig6_wait_saga,
+        datasets=CDS_DATASETS, delays=CDS_DELAYS,
+        sync_updates=SYNC_UPDATES, async_updates=ASYNC_UPDATES,
+        verbose=True,
+    )
+    for ds in CDS_DATASETS:
+        sync_waits = [out["cells"][(ds, d)]["sync_wait_ms"]
+                      for d in CDS_DELAYS]
+        async_waits = [out["cells"][(ds, d)]["async_wait_ms"]
+                       for d in CDS_DELAYS]
+        assert sync_waits[-1] > 2.0 * sync_waits[0], ds
+        assert max(async_waits) < 1.5 * min(async_waits) + 0.1, ds
+        assert async_waits[-1] < sync_waits[-1], ds

@@ -1,0 +1,26 @@
+"""Figure 8: ASAGA vs SAGA with production-cluster stragglers, 32 workers.
+
+Paper shape: "ASAGA compared to SAGA obtains a speedup of 3.5x and 4x for
+mnist8m and epsilon respectively."
+"""
+
+from benchmarks.conftest import PCS_ASYNC_UPDATES, PCS_SYNC_UPDATES
+from benchmarks.conftest import *  # noqa: F401,F403
+from repro.bench import figures
+from repro.bench.figures import PCS_DATASETS
+
+
+def test_fig8_pcs_saga(benchmark, run_once):
+    out = run_once(
+        benchmark, figures.fig8_pcs_saga,
+        datasets=PCS_DATASETS,
+        sync_updates=PCS_SYNC_UPDATES, async_updates=PCS_ASYNC_UPDATES,
+        verbose=True,
+    )
+    for ds, cell in out["cells"].items():
+        assert cell["speedup"] > 2.0, (
+            f"{ds}: PCS speedup {cell['speedup']:.2f} < 2"
+        )
+    benchmark.extra_info["speedups"] = {
+        ds: round(cell["speedup"], 3) for ds, cell in out["cells"].items()
+    }

@@ -1,0 +1,22 @@
+"""Table 2: dataset analogs — generation cost and shape signatures."""
+
+from benchmarks.conftest import *  # noqa: F401,F403 (fixtures)
+from repro.bench import figures
+from repro.data.registry import REGISTRY, get_dataset
+
+
+def test_table2_registry(benchmark, run_once):
+    out = run_once(benchmark, figures.table2_datasets, verbose=True)
+    names = [row[0] for row in out["rows"]]
+    assert names == ["rcv1_like", "mnist8m_like", "epsilon_like"]
+
+
+def test_table2_generation_speed(benchmark):
+    """Generating the largest analog is a sub-second operation."""
+
+    def gen():
+        X, y, _ = get_dataset("mnist8m_like", seed=0)
+        return X.shape
+
+    shape = benchmark(gen)
+    assert shape == (REGISTRY["mnist8m_like"].n, REGISTRY["mnist8m_like"].d)

@@ -1,0 +1,33 @@
+"""Shared helpers for the figure/table benchmarks.
+
+These are macro-benchmarks: each runs a full (scaled-down) experiment
+grid once and asserts the paper's qualitative shape. ``run_once`` wraps
+``benchmark.pedantic`` so pytest-benchmark reports the wall time of one
+complete regeneration without re-running the grid several times.
+
+Figure pairs share experiment cells through the in-process result cache
+(:mod:`repro.bench.figures`), so e.g. the Fig. 4 benchmark reuses the runs
+Fig. 3 already paid for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once():
+    def _run(benchmark, fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return _run
+
+
+# Scaled budgets: sync iterations / async updates per experiment cell.
+SYNC_UPDATES = 50
+ASYNC_UPDATES = 400
+PCS_SYNC_UPDATES = 40
+PCS_ASYNC_UPDATES = 900

@@ -1,0 +1,44 @@
+"""The controlled-delay straggler study (Figures 3 & 4), end to end.
+
+Sweeps delay intensities {0%, 30%, 60%, 100%} on one straggling worker
+out of 8 and regenerates the paper's two SGD plots as tables: time-to-
+target-error speedups (Fig. 3) and average per-iteration wait times
+(Fig. 4) for all three dataset analogs.
+
+Run:  python examples/asgd_vs_sgd_stragglers.py  [--fast]
+"""
+
+import sys
+
+from repro.bench import figures
+
+
+def main(fast: bool = False):
+    sync_updates = 40 if fast else 80
+    async_updates = 320 if fast else 640
+    datasets = ("mnist8m_like",) if fast else figures.CDS_DATASETS
+
+    fig3 = figures.fig3_cds_sgd(
+        datasets=datasets,
+        sync_updates=sync_updates,
+        async_updates=async_updates,
+        verbose=True,
+    )
+    print()
+    figures.fig4_wait_sgd(
+        datasets=datasets,
+        sync_updates=sync_updates,
+        async_updates=async_updates,
+        verbose=True,
+    )
+
+    print("\nSummary — straggler robustness (paper: ~2x at 100% delay):")
+    for ds in datasets:
+        s0 = fig3["cells"][(ds, 0.0)]["speedup"]
+        s1 = fig3["cells"][(ds, 1.0)]["speedup"]
+        print(f"  {ds:14s} speedup {s0:.2f}x (no delay) -> {s1:.2f}x "
+              f"(100% delay); straggler factor {s1 / s0:.2f}x")
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,72 @@
+"""Regenerate the paper's evaluation and export it for external plotting.
+
+Runs the figure drivers at a configurable budget and writes:
+
+- ``results/figN_*.csv`` — each figure's summary table,
+- ``results/fig3_series_*.csv`` — raw error-vs-time series per CDS cell
+  (ready for matplotlib/gnuplot),
+- ``results/summary.json`` — everything, machine-readable.
+
+Run:  python examples/export_results.py [outdir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.bench import figures
+from repro.metrics import error_series_to_csv, figure_to_csv, to_json
+
+
+def main(outdir: str = "results"):
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    fig2 = figures.fig2_sync_sgd_vs_reference(iterations=50, verbose=False)
+    fig3 = figures.fig3_cds_sgd(sync_updates=50, async_updates=400,
+                                verbose=False)
+    fig4 = figures.fig4_wait_sgd(sync_updates=50, async_updates=400,
+                                 verbose=False)
+    fig5 = figures.fig5_cds_saga(sync_updates=50, async_updates=400,
+                                 verbose=False)
+    fig6 = figures.fig6_wait_saga(sync_updates=50, async_updates=400,
+                                  verbose=False)
+    fig7 = figures.fig7_pcs_sgd(sync_updates=40, async_updates=900,
+                                verbose=False)
+    fig8 = figures.fig8_pcs_saga(sync_updates=40, async_updates=900,
+                                 verbose=False)
+    table3 = figures.table3_wait_pcs(sync_updates=40, async_updates=900,
+                                     verbose=False)
+
+    tables = {
+        "fig2_mllib": fig2, "fig3_cds_sgd": fig3, "fig4_wait_sgd": fig4,
+        "fig5_cds_saga": fig5, "fig6_wait_saga": fig6,
+        "fig7_pcs_sgd": fig7, "fig8_pcs_saga": fig8,
+        "table3_wait_pcs": table3,
+    }
+    for name, fig in tables.items():
+        figure_to_csv(fig, out / f"{name}.csv")
+
+    # Raw error-vs-time curves for the CDS SGD figure (one file per
+    # dataset, one series per delay x variant — the actual plot lines).
+    for ds in figures.CDS_DATASETS:
+        series = {}
+        for delay in figures.CDS_DELAYS:
+            cell = fig3["cells"][(ds, delay)]
+            series[f"sync-{delay:.0%}"] = cell["sync"].error_series
+            series[f"async-{delay:.0%}"] = cell["async"].error_series
+        error_series_to_csv(series, out / f"fig3_series_{ds}.csv")
+
+    summary = {
+        name: {"headers": fig["headers"], "rows": fig["rows"]}
+        for name, fig in tables.items()
+    }
+    to_json(summary, out / "summary.json")
+
+    written = sorted(p.name for p in out.iterdir())
+    print(f"wrote {len(written)} files to {out}/:")
+    for name in written:
+        print(f"  {name}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "results")

@@ -1,0 +1,96 @@
+"""Staleness-dependent learning rates (Section 5.3, Listing 1).
+
+The paper's Listing 1 shows how ``ASYNCcollectAll`` exposes each result's
+staleness so the server can modulate the step size (Zhang et al. [72]).
+This example spells the loop out manually — collect with attributes,
+scale the step by 1/staleness — on a 32-worker cluster with
+production-pattern stragglers, then compares against the built-in
+``StalenessScaled`` schedule.
+
+Run:  python examples/staleness_aware_lr.py
+"""
+
+import numpy as np
+
+from repro import ClusterContext, LeastSquaresProblem
+from repro.cluster import ProductionCluster
+from repro.core import ASYNCContext
+from repro.data import make_dense_regression
+from repro.optim.base import bc_value
+
+P = 32
+UPDATES = 640
+ALPHA = 0.5
+
+
+def manual_staleness_aware_loop():
+    """Listing 1, written out against the real API."""
+    X, y, _ = make_dense_regression(16384, 64, seed=0)
+    problem = LeastSquaresProblem(X, y)
+    with ClusterContext(
+        P, seed=0, delay_model=ProductionCluster(num_workers=P, seed=0)
+    ) as sc:
+        points = sc.matrix(X, y, 32).cache()
+        AC = ASYNCContext(sc)
+        w = problem.initial_point()
+        updates = 0
+        rounds = 0
+        max_staleness = 0
+        while updates < UPDATES:
+            w_br = sc.broadcast(w)
+            (points
+                .async_barrier(lambda stat: stat.num_available >= 1, AC.stat)
+                .sample(0.01, seed=rounds)
+                .map(lambda blk: (
+                    problem.grad_sum(blk.X, blk.y, bc_value(w_br)),
+                    blk.rows))
+                .async_reduce(lambda a, b: (a[0] + b[0], a[1] + b[1]), AC))
+            rounds += 1
+
+            # --- Listing 1: while(AC.hasNext()) { collectAll; w -= a/t g }
+            if AC.has_next(block=True):
+                while True:
+                    rec = AC.collect_all(block=False)
+                    g_sum, rows = rec.value
+                    updates += 1
+                    max_staleness = max(max_staleness, rec.staleness)
+                    t = max(1, updates // P)
+                    alpha = ALPHA / np.sqrt(t) / max(1, rec.staleness)
+                    w = w - alpha * g_sum / rows
+                    AC.model_updated()
+                    if updates >= UPDATES or not AC.has_next(block=False):
+                        break
+        AC.wait_all()
+        return problem.error(w), max_staleness, sc.now()
+
+
+def builtin_schedule_run(adaptive: bool):
+    from repro.bench.harness import ExperimentSpec, run_experiment
+
+    res = run_experiment(ExperimentSpec(
+        dataset="mnist8m_like", algorithm="asgd", delay="pcs",
+        num_workers=P, num_partitions=32, max_updates=UPDATES,
+        batch_fraction=0.01, seed=0, staleness_adaptive=adaptive,
+    ))
+    return res.final_error, res.extras.get("max_staleness_seen", 0)
+
+
+def main():
+    err, tau_max, elapsed = manual_staleness_aware_loop()
+    print("Manual Listing-1 loop (32 workers, PCS stragglers):")
+    print(f"  final error {err:.4g}, max staleness seen {tau_max}, "
+          f"cluster time {elapsed:.0f} ms")
+
+    plain_err, plain_tau = builtin_schedule_run(adaptive=False)
+    adap_err, adap_tau = builtin_schedule_run(adaptive=True)
+    print("\nBuilt-in schedules on the same workload:")
+    print(f"  plain 1/P heuristic      : err={plain_err:.4g} "
+          f"(max staleness {plain_tau})")
+    print(f"  StalenessScaled (Listing1): err={adap_err:.4g} "
+          f"(max staleness {adap_tau})")
+    print("\nLong-tail stragglers deliver very stale gradients; the "
+          "modulated step damps exactly those updates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — a full reproduction of ASYNC (IPDPS 2020).
+
+ASYNC is a cloud engine extending a Spark-like dataflow system with the
+three capabilities asynchronous optimization needs: worker bookkeeping
+(STAT), barrier-controlled asynchronous scheduling, and history-aware
+broadcast for variance-reduced methods.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        ClusterContext, ASYNCContext, AsyncSGD, LeastSquaresProblem,
+        OptimizerConfig, InvSqrtDecay,
+    )
+    from repro.cluster import ControlledDelay
+    from repro.data import make_dense_regression
+
+    X, y, _ = make_dense_regression(4096, 32, seed=0)
+    with ClusterContext(num_workers=8, seed=0,
+                        delay_model=ControlledDelay(1.0, workers=(0,))) as sc:
+        points = sc.matrix(X, y, 32).cache()
+        problem = LeastSquaresProblem(X, y)
+        result = AsyncSGD(
+            sc, points, problem,
+            InvSqrtDecay(0.5).scaled_for_async(8),
+            OptimizerConfig(batch_fraction=0.1, max_updates=200),
+        ).run()
+        print(result.final_error(problem))
+"""
+
+from repro.core.barriers import (
+    ASP,
+    BSP,
+    SSP,
+    BarrierPolicy,
+    CompletionTimeBarrier,
+    MinAvailableFraction,
+)
+from repro.core.context import ASYNCContext
+from repro.engine.context import ClusterContext
+from repro.optim.admm import AsyncADMM, SyncADMM
+from repro.optim.asaga import AsyncSAGA
+from repro.optim.asgd import AsyncSGD
+from repro.optim.base import OptimizerConfig, RunResult
+from repro.optim.problems import (
+    LeastSquaresProblem,
+    LogisticRegressionProblem,
+    Problem,
+    RidgeProblem,
+)
+from repro.optim.saga import SyncSAGA
+from repro.optim.sgd import SyncSGD
+from repro.optim.stepsize import (
+    ConstantStep,
+    InvSqrtDecay,
+    PolyDecay,
+    StalenessScaled,
+)
+from repro.optim.svrg import AsyncSVRG, SyncSVRG
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterContext",
+    "ASYNCContext",
+    "BarrierPolicy",
+    "ASP",
+    "BSP",
+    "SSP",
+    "MinAvailableFraction",
+    "CompletionTimeBarrier",
+    "Problem",
+    "LeastSquaresProblem",
+    "RidgeProblem",
+    "LogisticRegressionProblem",
+    "ConstantStep",
+    "InvSqrtDecay",
+    "PolyDecay",
+    "StalenessScaled",
+    "OptimizerConfig",
+    "RunResult",
+    "SyncSGD",
+    "AsyncSGD",
+    "SyncSAGA",
+    "AsyncSAGA",
+    "SyncSVRG",
+    "AsyncSVRG",
+    "SyncADMM",
+    "AsyncADMM",
+    "__version__",
+]

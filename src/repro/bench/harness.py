@@ -1,0 +1,258 @@
+"""Experiment harness: declarative specs -> runs -> comparable summaries.
+
+An :class:`ExperimentSpec` names everything an evaluation cell needs —
+dataset, algorithm, cluster size, straggler model, barrier, budgets — and
+``run_experiment`` executes it on a fresh simulated cluster, returning an
+:class:`ExperimentResult` with the error-vs-time series and wait-time
+statistics that the figure drivers aggregate.
+
+String mini-languages keep specs printable and hashable (they key the
+result cache in :mod:`repro.bench.figures`):
+
+- delay: ``"none"``, ``"cds:<intensity>"``, ``"pcs"``
+- barrier: ``"asp"``, ``"bsp"``, ``"ssp:<s>"``, ``"frac:<beta>"``,
+  ``"ct:<ratio>"``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cluster.cost import AnalyticCostModel
+from repro.cluster.network import NetworkModel
+from repro.cluster.stragglers import (
+    ControlledDelay,
+    DelayModel,
+    NoDelay,
+    ProductionCluster,
+)
+from repro.core.barriers import (
+    ASP,
+    BSP,
+    SSP,
+    BarrierPolicy,
+    CompletionTimeBarrier,
+    MinAvailableFraction,
+)
+from repro.data.registry import get_dataset
+from repro.engine.context import ClusterContext
+from repro.errors import ReproError
+from repro.metrics.wait_time import average_wait_ms
+from repro.optim.asaga import AsyncSAGA
+from repro.optim.asgd import AsyncSGD
+from repro.optim.base import OptimizerConfig
+from repro.optim.problems import LeastSquaresProblem
+from repro.optim.saga import SyncSAGA
+from repro.optim.sgd import SyncSGD
+from repro.optim.stepsize import ConstantStep, InvSqrtDecay, StalenessScaled
+from repro.optim.svrg import AsyncSVRG, SyncSVRG
+
+__all__ = ["ExperimentSpec", "ExperimentResult", "run_experiment",
+           "parse_delay", "parse_barrier"]
+
+_ASYNC_ALGOS = {"asgd", "asaga", "asvrg"}
+_SAGA_ALGOS = {"saga", "asaga"}
+
+
+def parse_delay(token: str, num_workers: int, seed: int) -> DelayModel:
+    """Parse the delay mini-language into a model."""
+    if token == "none":
+        return NoDelay()
+    if token.startswith("cds:"):
+        intensity = float(token.split(":", 1)[1])
+        if intensity == 0:
+            return NoDelay()
+        return ControlledDelay(intensity, workers=(0,))
+    if token == "pcs":
+        return ProductionCluster(num_workers=num_workers, seed=seed)
+    raise ReproError(f"unknown delay spec {token!r}")
+
+
+def parse_barrier(token: str) -> BarrierPolicy:
+    """Parse the barrier mini-language into a policy."""
+    if token == "asp":
+        return ASP()
+    if token == "bsp":
+        return BSP()
+    if token.startswith("ssp:"):
+        return SSP(int(token.split(":", 1)[1]))
+    if token.startswith("frac:"):
+        return MinAvailableFraction(float(token.split(":", 1)[1]))
+    if token.startswith("ct:"):
+        return CompletionTimeBarrier(float(token.split(":", 1)[1]))
+    raise ReproError(f"unknown barrier spec {token!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One evaluation cell."""
+
+    dataset: str = "mnist8m_like"
+    algorithm: str = "sgd"  # sgd | asgd | saga | asaga | svrg | asvrg
+    num_workers: int = 8
+    num_partitions: int = 32
+    delay: str = "none"
+    barrier: str = "asp"
+    batch_fraction: float | None = None
+    alpha0: float | None = None
+    max_updates: int = 100
+    max_time_ms: float = math.inf
+    eval_every: int = 2
+    seed: int = 0
+    saga_mode: str = "history"
+    svrg_inner: int = 10
+    staleness_adaptive: bool = False
+    pipeline_depth: int = 1
+    #: Analytic cost model knobs (ms); chosen so a mini-batch task costs a
+    #: few ms, like the paper's per-iteration times.
+    cost_overhead_ms: float = 1.0
+    cost_ms_per_unit: float = 0.01
+    #: Interconnect model; defaults approximate 10 GbE.
+    net_latency_ms: float = 0.25
+    net_bandwidth_bytes_per_ms: float = 1.25e6
+
+    def is_async(self) -> bool:
+        return self.algorithm in _ASYNC_ALGOS
+
+    def with_updates(self, max_updates: int, **kw) -> "ExperimentSpec":
+        return replace(self, max_updates=max_updates, **kw)
+
+
+@dataclass
+class ExperimentResult:
+    """Lightweight, figure-ready summary of one run."""
+
+    spec: ExperimentSpec
+    final_error: float
+    initial_error: float
+    elapsed_ms: float
+    updates: int
+    rounds: int
+    avg_wait_ms: float
+    #: (time_ms, error) pairs — one plotted line.
+    error_series: list[tuple[float, float]] = field(default_factory=list)
+    total_task_bytes: int = 0
+    total_fetch_bytes: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def time_to_error(self, target: float) -> float:
+        """First time (ms) the error series reaches ``target``."""
+        for t, e in self.error_series:
+            if e <= target:
+                return t
+        return math.inf
+
+    def relative_target(self, rel: float) -> float:
+        return self.initial_error * rel
+
+
+def _make_step(spec: ExperimentSpec, alpha0: float, num_workers: int):
+    if spec.algorithm in ("sgd", "asgd"):
+        step = InvSqrtDecay(alpha0)
+    elif spec.algorithm in ("saga", "asaga", "svrg", "asvrg"):
+        step = ConstantStep(alpha0)
+    else:
+        raise ReproError(f"unknown algorithm {spec.algorithm!r}")
+    if spec.is_async():
+        if spec.staleness_adaptive:
+            # Listing 1 / Zhang et al. [72]: the 1/staleness modulation
+            # *replaces* the paper's 1/P heuristic — in steady state a
+            # P-worker cluster delivers results with staleness ~P-1, so
+            # stacking both would double-damp every update.
+            step = StalenessScaled(step)
+        else:
+            step = step.scaled_for_async(num_workers)
+    return step
+
+
+def _make_optimizer(spec, ctx, points, problem, step, cfg, barrier):
+    if spec.algorithm == "sgd":
+        return SyncSGD(ctx, points, problem, step, cfg)
+    if spec.algorithm == "asgd":
+        return AsyncSGD(ctx, points, problem, step, cfg, barrier=barrier)
+    if spec.algorithm == "saga":
+        return SyncSAGA(ctx, points, problem, step, cfg, mode=spec.saga_mode)
+    if spec.algorithm == "asaga":
+        return AsyncSAGA(
+            ctx, points, problem, step, cfg, barrier=barrier,
+            mode=spec.saga_mode,
+        )
+    if spec.algorithm == "svrg":
+        return SyncSVRG(
+            ctx, points, problem, step, cfg, inner_iterations=spec.svrg_inner
+        )
+    if spec.algorithm == "asvrg":
+        return AsyncSVRG(
+            ctx, points, problem, step, cfg, barrier=barrier,
+            inner_iterations=spec.svrg_inner,
+        )
+    raise ReproError(f"unknown algorithm {spec.algorithm!r}")
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one cell on a fresh simulated cluster."""
+    X, y, dspec = get_dataset(spec.dataset, seed=spec.seed)
+    problem = LeastSquaresProblem(X, y)
+
+    if spec.batch_fraction is not None:
+        b = spec.batch_fraction
+    elif spec.algorithm in _SAGA_ALGOS:
+        b = dspec.b_saga
+    else:
+        b = dspec.b_sgd
+    alpha0 = spec.alpha0
+    if alpha0 is None:
+        alpha0 = (
+            dspec.alpha_saga if spec.algorithm in _SAGA_ALGOS
+            else dspec.alpha_sgd
+        )
+
+    delay = parse_delay(spec.delay, spec.num_workers, spec.seed)
+    barrier = parse_barrier(spec.barrier)
+    cost = AnalyticCostModel(
+        overhead_ms=spec.cost_overhead_ms, ms_per_unit=spec.cost_ms_per_unit
+    )
+    cfg = OptimizerConfig(
+        batch_fraction=b,
+        max_updates=spec.max_updates,
+        max_time_ms=spec.max_time_ms,
+        eval_every=spec.eval_every,
+        seed=spec.seed,
+        pipeline_depth=spec.pipeline_depth,
+    )
+    network = NetworkModel(
+        latency_ms=spec.net_latency_ms,
+        bandwidth_bytes_per_ms=spec.net_bandwidth_bytes_per_ms,
+    )
+    with ClusterContext(
+        spec.num_workers,
+        seed=spec.seed,
+        cost_model=cost,
+        network=network,
+        delay_model=delay,
+    ) as ctx:
+        points = ctx.matrix(X, y, spec.num_partitions).cache()
+        step = _make_step(spec, alpha0, spec.num_workers)
+        opt = _make_optimizer(spec, ctx, points, problem, step, cfg, barrier)
+        result = opt.run()
+
+        errors = result.trace.errors(problem)
+        series = list(zip(result.trace.times_ms, errors.tolist()))
+        return ExperimentResult(
+            spec=spec,
+            final_error=float(problem.error(result.w)),
+            initial_error=float(problem.error(problem.initial_point())),
+            elapsed_ms=result.elapsed_ms,
+            updates=result.updates,
+            rounds=result.rounds,
+            avg_wait_ms=average_wait_ms(result.metrics),
+            error_series=series,
+            total_task_bytes=(
+                ctx.dispatcher.total_in_bytes + ctx.dispatcher.total_out_bytes
+            ),
+            total_fetch_bytes=ctx.dispatcher.total_fetch_bytes,
+            extras=dict(result.extras),
+        )

@@ -1,0 +1,49 @@
+"""Simulated distributed platform: clocks, cost models, stragglers, backends.
+
+This subpackage stands in for the paper's physical XSEDE Comet cluster. It
+provides two interchangeable executors:
+
+- :class:`~repro.cluster.simbackend.SimBackend`: a deterministic
+  discrete-event simulation driven by a virtual clock. Task compute times
+  come from an analytic cost model, network transfers from a
+  latency/bandwidth model, and stragglers from pluggable delay models.
+- :class:`~repro.cluster.threadbackend.ThreadBackend`: real OS threads with
+  wall-clock timing and `sleep`-based stragglers (the paper's own CDS
+  methodology), demonstrating the same programs under genuine asynchrony.
+"""
+
+from repro.cluster.backend import Backend, BackendTask, TaskMetrics, WorkerEnv
+from repro.cluster.clock import Clock, VirtualClock, WallClock
+from repro.cluster.cost import AnalyticCostModel, MeasuredCostModel, TaskCostModel
+from repro.cluster.events import Event, EventQueue
+from repro.cluster.network import NetworkModel
+from repro.cluster.simbackend import SimBackend
+from repro.cluster.stragglers import (
+    ControlledDelay,
+    DelayModel,
+    NoDelay,
+    ProductionCluster,
+)
+from repro.cluster.threadbackend import ThreadBackend
+
+__all__ = [
+    "Backend",
+    "BackendTask",
+    "TaskMetrics",
+    "WorkerEnv",
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "TaskCostModel",
+    "AnalyticCostModel",
+    "MeasuredCostModel",
+    "Event",
+    "EventQueue",
+    "NetworkModel",
+    "SimBackend",
+    "ThreadBackend",
+    "DelayModel",
+    "NoDelay",
+    "ControlledDelay",
+    "ProductionCluster",
+]

@@ -1,0 +1,74 @@
+"""Clock abstractions.
+
+All engine timestamps are milliseconds, matching the paper's plots. The
+virtual clock is advanced only by the simulation event loop; the wall clock
+wraps ``time.perf_counter`` for the thread backend.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.errors import ClockError
+
+__all__ = ["Clock", "VirtualClock", "WallClock"]
+
+
+class Clock(ABC):
+    """Source of the current time in milliseconds."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in ms since the clock's epoch."""
+
+    @property
+    def is_virtual(self) -> bool:
+        return False
+
+
+class VirtualClock(Clock):
+    """Simulation time. Starts at 0.0 and only moves forward."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move time forward to ``t``; rejects moving backwards.
+
+        The event queue guarantees monotone pops, so a violation here means
+        a scheduling bug — fail loudly rather than silently reordering.
+        """
+        if t < self._now - 1e-9:
+            raise ClockError(
+                f"virtual clock moved backwards: {self._now} -> {t}"
+            )
+        if t > self._now:
+            self._now = t
+
+    @property
+    def is_virtual(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VirtualClock(now={self._now:.3f}ms)"
+
+
+class WallClock(Clock):
+    """Real time in ms, rebased to the moment the clock was created."""
+
+    __slots__ = ("_epoch",)
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+
+    def now(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1000.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WallClock(now={self.now():.3f}ms)"

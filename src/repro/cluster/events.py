@@ -1,0 +1,73 @@
+"""Discrete-event queue for the simulation backend.
+
+A binary heap keyed by ``(time, seq)``. The monotonically increasing
+sequence number makes pops deterministic when events share a timestamp —
+essential for bit-reproducible experiments (the async algorithms are
+sensitive to the order in which simultaneous task completions are applied).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordering uses (time, seq) only."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at ``time`` and return a cancellable handle."""
+        ev = Event(time=float(time), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

@@ -1,0 +1,228 @@
+"""Barrier-control policies (Section 3 / Listing 2).
+
+A policy answers two questions against the live STAT table:
+
+- ``ready(stat)`` — may a new submission round proceed *now*?
+- ``eligible(stat)`` — which available workers should receive tasks?
+
+The three classic strategies map directly:
+
+- **ASP** (asynchronous parallel): proceed as soon as any worker can take
+  a task. The paper writes this as ``STAT.foreach(true)``; on a driver
+  that spins, submitting to zero workers is a no-op, so requiring one
+  available worker is the same semantics without busy-waiting.
+- **BSP** (bulk synchronous): wait for *all* alive workers.
+- **SSP(s)** (stale synchronous): proceed only while the maximum in-flight
+  staleness is below the threshold ``s``.
+
+Additional policies reproduce the paper's other examples: the ⌊β·P⌋
+available-fraction rule of Algorithm 2, and a completion-time barrier in
+the spirit of [69] that withholds tasks from abnormally slow workers.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.core.stat import StatTable
+
+__all__ = [
+    "BarrierPolicy",
+    "ASP",
+    "BSP",
+    "SSP",
+    "MinAvailableFraction",
+    "CompletionTimeBarrier",
+    "LambdaBarrier",
+    "AndBarrier",
+    "OrBarrier",
+    "as_barrier",
+]
+
+
+class BarrierPolicy(ABC):
+    """Decides when a submission round may proceed and to which workers."""
+
+    @abstractmethod
+    def ready(self, stat: StatTable) -> bool:
+        """True when a new round of tasks may be dispatched."""
+
+    def eligible(self, stat: StatTable) -> list[int]:
+        """Workers to dispatch to; defaults to every available worker."""
+        return stat.available_workers()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    # Policies compose: (a & b), (a | b).
+    def __and__(self, other: "BarrierPolicy") -> "BarrierPolicy":
+        return AndBarrier(self, other)
+
+    def __or__(self, other: "BarrierPolicy") -> "BarrierPolicy":
+        return OrBarrier(self, other)
+
+
+class ASP(BarrierPolicy):
+    """Fully asynchronous: dispatch whenever anyone is free."""
+
+    def ready(self, stat: StatTable) -> bool:
+        return stat.num_available >= 1
+
+
+class BSP(BarrierPolicy):
+    """Bulk synchronous: dispatch only when every alive worker is free."""
+
+    def ready(self, stat: StatTable) -> bool:
+        return stat.num_alive > 0 and stat.num_available == stat.num_alive
+
+
+class SSP(BarrierPolicy):
+    """Stale synchronous parallel with staleness threshold ``s``.
+
+    Workers proceed while no in-flight computation is more than ``s``
+    model updates behind; otherwise dispatch stalls until stragglers
+    deliver.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("SSP threshold must be >= 1")
+        self.threshold = threshold
+
+    def ready(self, stat: StatTable) -> bool:
+        return stat.num_available >= 1 and stat.max_staleness < self.threshold
+
+    def describe(self) -> str:
+        return f"SSP(s={self.threshold})"
+
+
+class MinAvailableFraction(BarrierPolicy):
+    """Algorithm 2's bounded-availability rule: need ⌊β·P⌋ free workers."""
+
+    def __init__(self, beta: float) -> None:
+        if not 0.0 < beta <= 1.0:
+            raise ValueError("beta must be in (0, 1]")
+        self.beta = beta
+
+    def ready(self, stat: StatTable) -> bool:
+        need = max(1, math.floor(self.beta * len(stat)))
+        return stat.num_available >= need
+
+    def describe(self) -> str:
+        return f"MinAvailableFraction(beta={self.beta})"
+
+
+class CompletionTimeBarrier(BarrierPolicy):
+    """Performance-based barrier in the spirit of [69].
+
+    Ready when any acceptable worker is free; workers whose average task
+    completion time exceeds ``ratio`` x the cluster median are filtered
+    out of dispatch (they finish their in-flight work but receive no new
+    tasks), keeping chronically slow machines from accumulating stale
+    work. Workers with no history yet are always acceptable.
+    """
+
+    def __init__(self, ratio: float = 2.0) -> None:
+        if ratio <= 0:
+            raise ValueError("ratio must be positive")
+        self.ratio = ratio
+
+    def _acceptable(self, stat: StatTable, worker_id: int) -> bool:
+        w = stat[worker_id]
+        if w.tasks_completed == 0:
+            return True
+        median = stat.median_completion_ms()
+        if median <= 0:
+            return True
+        return w.avg_completion_ms <= self.ratio * median
+
+    def ready(self, stat: StatTable) -> bool:
+        return any(
+            self._acceptable(stat, w) for w in stat.available_workers()
+        )
+
+    def eligible(self, stat: StatTable) -> list[int]:
+        return [
+            w for w in stat.available_workers() if self._acceptable(stat, w)
+        ]
+
+    def describe(self) -> str:
+        return f"CompletionTimeBarrier(ratio={self.ratio})"
+
+
+class LambdaBarrier(BarrierPolicy):
+    """Wrap a user predicate ``f(stat) -> bool`` (the paper's raw API)."""
+
+    def __init__(
+        self,
+        ready_fn: Callable[[StatTable], bool],
+        eligible_fn: Callable[[StatTable], list[int]] | None = None,
+        name: str = "LambdaBarrier",
+    ) -> None:
+        self._ready = ready_fn
+        self._eligible = eligible_fn
+        self._name = name
+
+    def ready(self, stat: StatTable) -> bool:
+        return bool(self._ready(stat))
+
+    def eligible(self, stat: StatTable) -> list[int]:
+        if self._eligible is not None:
+            return list(self._eligible(stat))
+        return stat.available_workers()
+
+    def describe(self) -> str:
+        return self._name
+
+
+class AndBarrier(BarrierPolicy):
+    """Both policies ready; eligibility is the intersection."""
+
+    def __init__(self, a: BarrierPolicy, b: BarrierPolicy) -> None:
+        self.a, self.b = a, b
+
+    def ready(self, stat: StatTable) -> bool:
+        return self.a.ready(stat) and self.b.ready(stat)
+
+    def eligible(self, stat: StatTable) -> list[int]:
+        eb = set(self.b.eligible(stat))
+        return [w for w in self.a.eligible(stat) if w in eb]
+
+    def describe(self) -> str:
+        return f"({self.a.describe()} & {self.b.describe()})"
+
+
+class OrBarrier(BarrierPolicy):
+    """Either policy ready; eligibility is the union (stable order)."""
+
+    def __init__(self, a: BarrierPolicy, b: BarrierPolicy) -> None:
+        self.a, self.b = a, b
+
+    def ready(self, stat: StatTable) -> bool:
+        return self.a.ready(stat) or self.b.ready(stat)
+
+    def eligible(self, stat: StatTable) -> list[int]:
+        out = list(self.a.eligible(stat))
+        seen = set(out)
+        for w in self.b.eligible(stat):
+            if w not in seen:
+                out.append(w)
+        return out
+
+    def describe(self) -> str:
+        return f"({self.a.describe()} | {self.b.describe()})"
+
+
+def as_barrier(
+    policy: BarrierPolicy | Callable[[StatTable], bool] | None,
+) -> BarrierPolicy:
+    """Coerce user input (policy object, plain predicate, None) to a policy."""
+    if policy is None:
+        return ASP()
+    if isinstance(policy, BarrierPolicy):
+        return policy
+    if callable(policy):
+        return LambdaBarrier(policy)
+    raise TypeError(f"cannot interpret {policy!r} as a barrier policy")

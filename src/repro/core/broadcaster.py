@@ -1,0 +1,168 @@
+"""ASYNCbroadcaster (Section 4.3): history-aware broadcast.
+
+The problem it solves: variance-reduced methods (SAGA) need workers to
+re-evaluate gradients at *previous* model parameters. Vanilla Spark must
+re-broadcast the entire table of past parameters with every task — a
+payload that grows linearly with iterations. The ASYNCbroadcaster instead
+gives every broadcast a ``(channel, version)`` identity; tasks reference
+old versions **by id**, and a worker only pays a transfer when a version
+is missing from its local cache (typically the current version, once).
+
+``HistoryBroadcast.value()`` reads the handle's own version (the paper's
+``w_br.value``); ``value_at(v)`` reads any historical version (the
+paper's ``w_br.value(index)``). Both record fetch bytes on a miss so the
+simulation charges the transfer; cache hits are free — that difference is
+the entire communication story of Figure 5/8's SAGA experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.cluster.backend import WorkerEnv
+from repro.errors import BroadcastError
+from repro.utils.sizeof import sizeof_bytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.context import ClusterContext
+
+__all__ = ["AsyncBroadcaster", "HistoryBroadcast", "HistoryChannel"]
+
+_MISSING = object()
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        view = value.view()
+        view.flags.writeable = False
+        return view
+    return value
+
+
+class HistoryChannel:
+    """Server-side store of every version broadcast on one channel."""
+
+    def __init__(self, channel_id: int, name: str) -> None:
+        self.channel_id = channel_id
+        self.name = name
+        self._versions = itertools.count()
+        self._values: dict[int, Any] = {}
+        self._nbytes: dict[int, int] = {}
+        self.total_stored_bytes = 0
+
+    def append(self, value: Any) -> int:
+        """Store a new version; returns its id."""
+        version = next(self._versions)
+        self._values[version] = _freeze(value)
+        nbytes = sizeof_bytes(value)
+        self._nbytes[version] = nbytes
+        self.total_stored_bytes += nbytes
+        return version
+
+    def get(self, version: int) -> Any:
+        try:
+            return self._values[version]
+        except KeyError:
+            raise BroadcastError(
+                f"channel '{self.name}' has no version {version} "
+                "(pruned or never broadcast)"
+            ) from None
+
+    def nbytes(self, version: int) -> int:
+        return self._nbytes.get(version, 0)
+
+    def __contains__(self, version: int) -> bool:
+        return version in self._values
+
+    def versions(self) -> list[int]:
+        return sorted(self._values)
+
+    def latest_version(self) -> int:
+        if not self._values:
+            raise BroadcastError(f"channel '{self.name}' is empty")
+        return max(self._values)
+
+    def prune_below(self, min_version: int) -> int:
+        """Drop versions older than ``min_version``; returns bytes freed.
+
+        Callers (e.g. SAGA) must guarantee no live reference to pruned
+        versions remains — a read of a pruned version raises.
+        """
+        freed = 0
+        for v in [v for v in self._values if v < min_version]:
+            del self._values[v]
+            freed += self._nbytes.pop(v, 0)
+        self.total_stored_bytes -= freed
+        return freed
+
+
+class HistoryBroadcast:
+    """Worker-facing handle: ``(channel, version)`` plus history access."""
+
+    def __init__(self, channel: HistoryChannel, version: int) -> None:
+        self.channel = channel
+        self.version = version
+
+    @property
+    def nbytes(self) -> int:
+        return self.channel.nbytes(self.version)
+
+    def _resolve(self, version: int, env: WorkerEnv | None) -> Any:
+        if env is None:
+            return self.channel.get(version)
+        key = ("hbc", self.channel.channel_id, version)
+        cached = env.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        value = self.channel.get(version)
+        env.record_fetch(self.channel.nbytes(version))
+        env.put(key, value)
+        return value
+
+    def value(self, env: WorkerEnv | None = None) -> Any:
+        """This handle's own version (the paper's ``w_br.value``)."""
+        return self._resolve(self.version, env)
+
+    def value_at(self, version: int, env: WorkerEnv | None = None) -> Any:
+        """Any historical version by id (the paper's ``w_br.value(i)``)."""
+        return self._resolve(int(version), env)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"HistoryBroadcast(channel={self.channel.name!r}, "
+            f"version={self.version})"
+        )
+
+
+class AsyncBroadcaster:
+    """Driver-side registry of history channels."""
+
+    def __init__(self, ctx: "ClusterContext") -> None:
+        self.ctx = ctx
+        self._channel_ids = itertools.count()
+        self._channels: dict[str, HistoryChannel] = {}
+
+    def channel(self, name: str = "model") -> HistoryChannel:
+        ch = self._channels.get(name)
+        if ch is None:
+            ch = HistoryChannel(next(self._channel_ids), name)
+            self._channels[name] = ch
+        return ch
+
+    def broadcast(self, value: Any, channel: str = "model") -> HistoryBroadcast:
+        """Publish a new version on ``channel`` and return its handle."""
+        ch = self.channel(channel)
+        version = ch.append(value)
+        return HistoryBroadcast(ch, version)
+
+    def handle(self, channel: str, version: int) -> HistoryBroadcast:
+        """Re-materialize a handle for an existing version."""
+        ch = self.channel(channel)
+        if version not in ch:
+            raise BroadcastError(
+                f"channel '{channel}' has no version {version}"
+            )
+        return HistoryBroadcast(ch, version)

@@ -1,0 +1,174 @@
+"""ASYNCContext (Section 5.1): the entry point to the ASYNC framework.
+
+Created once per application on top of a :class:`ClusterContext`. It wires
+the coordinator, broadcaster and scheduler together and exposes the
+paper's API (Table 1):
+
+======================  =====================================================
+Paper                   Here
+======================  =====================================================
+``new ASYNCcontext``    ``ac = ASYNCContext(sc)``
+``ASYNCreduce(f, AC)``  ``rdd.async_reduce(f, ac)``
+``ASYNCaggregate``      ``rdd.async_aggregate(zero, seq_op, comb_op, ac)``
+``ASYNCbarrier(f, S)``  ``rdd.async_barrier(policy_or_predicate, ac.stat)``
+``AC.ASYNCcollect()``   ``ac.collect()``
+``AC.ASYNCcollectAll``  ``ac.collect_all()`` (returns a TaskResultRecord)
+``AC.ASYNCbroadcast``   ``ac.async_broadcast(value)``
+``AC.STAT``             ``ac.stat`` (live) / ``ac.stat.snapshot()``
+``AC.hasNext()``        ``ac.has_next()``
+======================  =====================================================
+
+One addition relative to the paper's listings: after applying update(s) to
+the model, the server calls ``ac.model_updated()`` so the coordinator can
+track versions and compute staleness. (On Spark, ASYNC extracts this from
+the TaskContext; a library cannot observe your ``w -= ...`` statement.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.barriers import BarrierPolicy, as_barrier
+from repro.core.broadcaster import AsyncBroadcaster, HistoryBroadcast
+from repro.core.coordinator import Coordinator
+from repro.core.records import TaskResultRecord
+from repro.core.scheduler import AsyncScheduler
+from repro.core.stat import StatTable
+from repro.engine.context import ClusterContext
+from repro.errors import AsyncContextError
+
+__all__ = ["ASYNCContext"]
+
+
+class ASYNCContext:
+    """Server-side hub for asynchronous execution."""
+
+    def __init__(
+        self,
+        ctx: ClusterContext,
+        default_barrier: BarrierPolicy | Callable[[StatTable], bool] | None = None,
+        pipeline_depth: int = 1,
+    ) -> None:
+        self.ctx = ctx
+        self.stat = StatTable(ctx.num_workers)
+        self.coordinator = Coordinator(self.stat, pipeline_depth)
+        self.scheduler = AsyncScheduler(self)
+        self.broadcaster = AsyncBroadcaster(ctx)
+        self.default_barrier = as_barrier(default_barrier)
+
+    # -- versioning --------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Model version: number of updates the server has applied."""
+        return self.coordinator.version
+
+    def model_updated(self, count: int = 1) -> None:
+        """Tell the coordinator the server applied ``count`` update(s)."""
+        self.coordinator.model_updated(count)
+
+    # -- result consumption ---------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self.scheduler.in_flight
+
+    def has_next(self, block: bool = False) -> bool:
+        """True if a task result is waiting.
+
+        With ``block=True``, advances the cluster until a result arrives or
+        no in-flight task remains (then returns False).
+        """
+        backend = self.ctx.backend
+        with backend.state_lock:
+            self.coordinator.raise_pending_error()
+            if self.coordinator.has_result():
+                return True
+            if not block:
+                return False
+
+        def arrived() -> bool:
+            return (
+                self.coordinator.has_result()
+                or self.coordinator.pending_errors() > 0
+                or self.scheduler.in_flight == 0
+            )
+
+        backend.run_until(arrived, host_timeout_s=self.ctx.job_timeout_s)
+        with backend.state_lock:
+            self.coordinator.raise_pending_error()
+            return self.coordinator.has_result()
+
+    def collect_all(self, block: bool = True) -> TaskResultRecord:
+        """FIFO-pop one result with its worker attributes (Table 1)."""
+        if not self.has_next(block=block):
+            raise AsyncContextError(
+                "ASYNCcollect: no task result available"
+                + ("" if block else " (non-blocking)")
+            )
+        with self.ctx.backend.state_lock:
+            return self.coordinator.pop_result()
+
+    def collect(self, block: bool = True) -> Any:
+        """FIFO-pop one task result value."""
+        return self.collect_all(block=block).value
+
+    def drain(self) -> list[TaskResultRecord]:
+        """Pop every result currently queued (non-blocking)."""
+        out = []
+        while self.has_next(block=False):
+            out.append(self.collect_all(block=False))
+        return out
+
+    def wait_all(self) -> None:
+        """Advance until no submitted task remains in flight."""
+        self.ctx.backend.run_until(
+            lambda: self.scheduler.in_flight == 0,
+            host_timeout_s=self.ctx.job_timeout_s,
+        )
+
+    # -- broadcast --------------------------------------------------------------------
+    def async_broadcast(
+        self, value: Any, channel: str = "model"
+    ) -> HistoryBroadcast:
+        """Versioned broadcast with history access (Section 4.3)."""
+        return self.broadcaster.broadcast(value, channel)
+
+    # -- cluster membership --------------------------------------------------------------
+    def refresh_workers(self) -> list[int]:
+        """Re-sync STAT liveness with the backend (worker elasticity).
+
+        A worker the coordinator marked dead (its task was lost) may have
+        been revived by the fault injector / cluster manager; calling this
+        re-admits it to scheduling with a clean slate. Returns the workers
+        that rejoined.
+        """
+        rejoined = []
+        with self.ctx.backend.state_lock:
+            for w in self.ctx.backend.worker_ids():
+                status = self.stat[w]
+                alive = self.ctx.backend.worker_env(w).alive
+                if alive and not status.alive:
+                    status.alive = True
+                    status.in_flight = 0
+                    status.computing_version = None
+                    status.available = True
+                    rejoined.append(w)
+                elif not alive and status.alive:
+                    status.alive = False
+                    status.available = False
+        return rejoined
+
+    # -- bookkeeping totals ---------------------------------------------------------------
+    @property
+    def collected(self) -> int:
+        return self.coordinator.collected
+
+    @property
+    def lost_tasks(self) -> int:
+        return self.coordinator.lost_tasks
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ASYNCContext(version={self.version}, "
+            f"in_flight={self.in_flight}, "
+            f"queued={len(self.coordinator.results)})"
+        )

@@ -1,0 +1,149 @@
+"""ASYNC's RDD verbs (Table 1): barrier, reduce, aggregate.
+
+``async_reduce``/``async_aggregate`` differ from Spark's actions in the
+two ways Section 5.1 describes: the reduction runs *on the worker, over
+its local partitions only* (one locally-combined result per worker — the
+capability Glint lacks), and the call returns immediately; results are
+consumed later through the ASYNCcontext.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.cluster.backend import WorkerEnv
+from repro.core.barriers import BarrierPolicy, as_barrier
+from repro.core.stat import StatTable
+from repro.engine.rdd import RDD
+from repro.engine.taskcontext import task_env
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.context import ASYNCContext
+
+__all__ = ["BarrierRDD", "async_barrier", "async_reduce", "async_aggregate",
+           "find_barrier"]
+
+_EMPTY = object()
+
+
+class BarrierRDD(RDD):
+    """Pass-through node that attaches a barrier-control policy.
+
+    ``ASYNCbarrier`` is a transformation in the paper: it does not change
+    the data, it changes *which workers are assigned tasks* when a
+    downstream async action fires. We keep the same shape: identity
+    compute, policy discovered by the scheduler via lineage.
+    """
+
+    def __init__(self, parent: RDD, policy: BarrierPolicy, stat: StatTable):
+        super().__init__(parent.ctx, deps=[parent])
+        self.policy = policy
+        self.stat = stat
+        self.is_matrix_like = getattr(parent, "is_matrix_like", False)
+
+    def compute(self, split: int, env: WorkerEnv | None) -> list:
+        return self.deps[0].iterator(split, env)
+
+
+def async_barrier(
+    rdd: RDD,
+    policy: BarrierPolicy | Callable[[StatTable], bool],
+    stat: StatTable,
+) -> BarrierRDD:
+    """Attach a barrier policy (accepts a policy object or a predicate)."""
+    return BarrierRDD(rdd, as_barrier(policy), stat)
+
+
+def find_barrier(rdd: RDD) -> BarrierPolicy | None:
+    """Nearest barrier annotation in the lineage, if any."""
+    stack = [rdd]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if node.rdd_id in seen:
+            continue
+        seen.add(node.rdd_id)
+        if isinstance(node, BarrierRDD):
+            return node.policy
+        stack.extend(node.deps)
+    return None
+
+
+def _worker_reduce_factory(
+    rdd: RDD, f: Callable[[Any, Any], Any]
+) -> Callable[[int, list[int]], Callable[[WorkerEnv], tuple[Any, int]]]:
+    def make_fn(worker_id: int, splits: list[int]):
+        def fn(env: WorkerEnv) -> tuple[Any, int]:
+            with task_env(env):
+                acc: Any = _EMPTY
+                count = 0
+                for split in splits:
+                    for elem in rdd.iterator(split, env):
+                        count += 1
+                        acc = elem if acc is _EMPTY else f(acc, elem)
+                return (None if acc is _EMPTY else acc, count)
+
+        return fn
+
+    return make_fn
+
+
+def _worker_aggregate_factory(
+    rdd: RDD,
+    zero: Any,
+    seq_op: Callable[[Any, Any], Any],
+    comb_op: Callable[[Any, Any], Any],
+) -> Callable[[int, list[int]], Callable[[WorkerEnv], tuple[Any, int]]]:
+    def make_fn(worker_id: int, splits: list[int]):
+        def fn(env: WorkerEnv) -> tuple[Any, int]:
+            with task_env(env):
+                # Deep-copy the zero per partition (Spark semantics): seq_op
+                # may mutate its accumulator.
+                acc: Any = _EMPTY
+                count = 0
+                for split in splits:
+                    part = copy.deepcopy(zero)
+                    elems = rdd.iterator(split, env)
+                    for elem in elems:
+                        count += 1
+                        part = seq_op(part, elem)
+                    acc = part if acc is _EMPTY else comb_op(acc, part)
+                return (copy.deepcopy(zero) if acc is _EMPTY else acc, count)
+
+        return fn
+
+    return make_fn
+
+
+def async_reduce(
+    rdd: RDD,
+    f: Callable[[Any, Any], Any],
+    ac: "ASYNCContext",
+    granularity: str = "worker",
+) -> list[int]:
+    """Worker-local reduction, submitted asynchronously.
+
+    Returns immediately (after the barrier admits the round) with the list
+    of workers that received tasks; results arrive via ``ac.collect()``.
+    ``granularity="partition"`` reproduces Glint's model (no worker-local
+    combine) for comparison.
+    """
+    policy = find_barrier(rdd) or ac.default_barrier
+    return ac.scheduler.submit_round(
+        rdd, _worker_reduce_factory(rdd, f), policy, granularity
+    )
+
+
+def async_aggregate(
+    rdd: RDD,
+    zero: Any,
+    seq_op: Callable[[Any, Any], Any],
+    comb_op: Callable[[Any, Any], Any],
+    ac: "ASYNCContext",
+) -> list[int]:
+    """Worker-local aggregate with a neutral zero value (Table 1)."""
+    policy = find_barrier(rdd) or ac.default_barrier
+    return ac.scheduler.submit_round(
+        rdd, _worker_aggregate_factory(rdd, zero, seq_op, comb_op), policy
+    )

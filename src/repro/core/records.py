@@ -1,0 +1,81 @@
+"""Bookkeeping records (Section 4.1 of the paper).
+
+For each submitted task result, the server stores the worker's id, the
+result's staleness, its mini-batch size and the result itself — plus the
+timing data our metrics layer consumes. :class:`WorkerStatus` is one row
+of the ``STAT`` table: the worker's most recent status, its availability
+and its average-task-completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.stats import OnlineMean
+
+__all__ = ["TaskResultRecord", "WorkerStatus"]
+
+
+@dataclass
+class TaskResultRecord:
+    """One annotated task result as seen by ``ASYNCcollectAll``.
+
+    Attributes
+    ----------
+    value: the reduced task payload.
+    worker_id: which worker produced it.
+    version: model version (update count) the task computed with.
+    staleness: updates applied between task submission and delivery.
+    batch_size: number of elements locally reduced into ``value``.
+    submitted_ms / delivered_ms / compute_ms: timing attributes.
+    """
+
+    value: Any
+    worker_id: int
+    task_id: int
+    version: int
+    staleness: int
+    batch_size: int
+    submitted_ms: float
+    delivered_ms: float
+    compute_ms: float
+    job_id: int = -1
+
+    @property
+    def turnaround_ms(self) -> float:
+        """Assignment-to-delivery latency of the task."""
+        return self.delivered_ms - self.submitted_ms
+
+
+@dataclass
+class WorkerStatus:
+    """One worker's row in the STAT table."""
+
+    worker_id: int
+    alive: bool = True
+    available: bool = True
+    in_flight: int = 0
+    computing_version: int | None = None
+    last_staleness: int = 0
+    tasks_completed: int = 0
+    last_delivered_ms: float = 0.0
+    completion: OnlineMean = field(default_factory=OnlineMean)
+
+    @property
+    def avg_completion_ms(self) -> float:
+        """Average task turnaround (assignment to result submission)."""
+        return self.completion.value
+
+    def snapshot(self) -> dict:
+        """A plain-dict view for user-side barrier predicates / logging."""
+        return {
+            "worker_id": self.worker_id,
+            "alive": self.alive,
+            "available": self.available,
+            "in_flight": self.in_flight,
+            "computing_version": self.computing_version,
+            "last_staleness": self.last_staleness,
+            "tasks_completed": self.tasks_completed,
+            "avg_completion_ms": self.avg_completion_ms,
+        }

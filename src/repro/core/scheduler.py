@@ -1,0 +1,138 @@
+"""ASYNCscheduler (Section 4.4).
+
+Dispatches one locally-reducing task per eligible worker, where
+eligibility is decided by a barrier-control policy over the live STAT
+table. ``submit_round`` blocks (advancing backend time) until the policy's
+``ready`` predicate holds, then ships tasks to the workers the policy
+selects — the mechanism behind ASP / BSP / SSP and the user-defined
+filters of Listing 2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.cluster.backend import TaskMetrics, WorkerEnv
+from repro.core.barriers import BarrierPolicy
+from repro.errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.context import ASYNCContext
+    from repro.engine.rdd import RDD
+
+__all__ = ["AsyncScheduler"]
+
+# make_fn(worker_id, local_splits) -> task closure returning (value, count)
+TaskFactory = Callable[[int, list[int]], Callable[[WorkerEnv], tuple[Any, int]]]
+
+
+class AsyncScheduler:
+    """Barrier-gated, worker-granular task dispatch."""
+
+    def __init__(self, ac: "ASYNCContext") -> None:
+        self.ac = ac
+        self.in_flight = 0
+        self.rounds = 0
+        self.tasks_submitted = 0
+
+    def submit_round(
+        self,
+        rdd: "RDD",
+        make_fn: TaskFactory,
+        policy: BarrierPolicy,
+        granularity: str = "worker",
+    ) -> list[int]:
+        """Wait for the barrier, then dispatch to eligible workers.
+
+        ``granularity`` selects the submission unit:
+
+        - ``"worker"`` (default, the paper's model): one task per worker
+          covering all of its local partitions, locally reduced before
+          submission — the capability the paper notes Glint lacks.
+        - ``"partition"`` (Glint-style): one task per partition; every
+          partition ships its own result to the server unreduced.
+
+        Returns the workers that received task(s) this round (possibly
+        empty if the policy's filter excluded everyone).
+        """
+        if granularity not in ("worker", "partition"):
+            raise SchedulerError(
+                f"unknown submission granularity {granularity!r}"
+            )
+        ac = self.ac
+        backend = ac.ctx.backend
+        stat = ac.stat
+
+        satisfied = backend.run_until(
+            lambda: policy.ready(stat),
+            host_timeout_s=ac.ctx.job_timeout_s,
+        )
+        if not satisfied:
+            raise SchedulerError(
+                f"barrier {policy.describe()} can never be satisfied: "
+                f"{stat.num_available}/{len(stat)} workers available, "
+                f"{self.in_flight} task(s) in flight"
+            )
+
+        with backend.state_lock:
+            data_owners = {
+                ac.ctx.owner_of(p) for p in range(rdd.num_partitions)
+            }
+            targets = [
+                w
+                for w in policy.eligible(stat)
+                if w in data_owners and backend.worker_env(w).alive
+            ]
+            version = ac.coordinator.version
+            job_id = ac.ctx.dispatcher.new_job_id()
+            for w in targets:
+                splits = ac.ctx.partitions_of(w, rdd.num_partitions)
+                if granularity == "worker":
+                    self._dispatch(w, make_fn(w, splits), version, job_id)
+                else:
+                    for split in splits:
+                        self._dispatch(
+                            w, make_fn(w, [split]), version, job_id
+                        )
+        self.rounds += 1
+        return targets
+
+    def _dispatch(
+        self,
+        worker_id: int,
+        fn: Callable[[WorkerEnv], tuple[Any, int]],
+        version: int,
+        job_id: int,
+    ) -> None:
+        ac = self.ac
+        self.in_flight += 1
+        self.tasks_submitted += 1
+        ac.coordinator.on_assigned(worker_id, version)
+
+        def cont(
+            task_id: int,
+            wid: int,
+            value: Any,
+            metrics: TaskMetrics,
+            error: BaseException | None,
+        ) -> None:
+            self.in_flight -= 1
+            if error is None:
+                payload, count = value
+                ac.coordinator.on_result(
+                    task_id, wid, payload, metrics, None,
+                    version=version, batch_size=count,
+                )
+            else:
+                ac.coordinator.on_result(
+                    task_id, wid, None, metrics, error,
+                    version=version, batch_size=0,
+                )
+
+        ac.ctx.dispatcher.submit(
+            fn,
+            worker_id,
+            on_complete=cont,
+            job_id=job_id,
+            in_bytes=ac.ctx.task_descriptor_bytes,
+        )

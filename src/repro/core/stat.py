@@ -1,0 +1,105 @@
+"""The STAT table (Section 4.1).
+
+Per-worker status — staleness, average-task-completion time, availability
+— plus the aggregates the paper calls out: the number of available workers
+and the maximum overall worker staleness. Barrier-control policies are
+functions of this table; Listing 2's predicates all read it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterator
+
+from repro.core.records import WorkerStatus
+
+__all__ = ["StatTable"]
+
+
+class StatTable:
+    """Live view of every worker's state, maintained by the coordinator."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.workers = [WorkerStatus(w) for w in range(num_workers)]
+        #: Server-side model version (count of applied updates); the
+        #: coordinator advances it via ``model_updated``.
+        self.current_version = 0
+
+    # -- row access ------------------------------------------------------------
+    def __getitem__(self, worker_id: int) -> WorkerStatus:
+        return self.workers[worker_id]
+
+    def __iter__(self) -> Iterator[WorkerStatus]:
+        return iter(self.workers)
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    # -- aggregates (the paper's server-side bookkeeping) -------------------------
+    @property
+    def num_alive(self) -> int:
+        return sum(1 for w in self.workers if w.alive)
+
+    @property
+    def num_available(self) -> int:
+        """Workers that are alive and not executing a task."""
+        return sum(1 for w in self.workers if w.alive and w.available)
+
+    def available_workers(self) -> list[int]:
+        return [w.worker_id for w in self.workers if w.alive and w.available]
+
+    def busy_workers(self) -> list[int]:
+        return [
+            w.worker_id for w in self.workers if w.alive and not w.available
+        ]
+
+    @property
+    def max_staleness(self) -> int:
+        """Maximum staleness of any in-flight computation.
+
+        A busy worker computing with model version ``v`` while the server
+        is at version ``k`` is ``k - v`` updates stale. Idle workers do not
+        contribute.
+        """
+        worst = 0
+        for w in self.workers:
+            if w.alive and not w.available and w.computing_version is not None:
+                worst = max(worst, self.current_version - w.computing_version)
+        return worst
+
+    def staleness_of(self, worker_id: int) -> int:
+        """Current staleness of a worker's in-flight task (0 if idle)."""
+        w = self.workers[worker_id]
+        if w.available or w.computing_version is None:
+            return 0
+        return self.current_version - w.computing_version
+
+    def mean_completion_ms(self) -> float:
+        vals = [
+            w.avg_completion_ms
+            for w in self.workers
+            if w.alive and w.tasks_completed > 0
+        ]
+        return statistics.fmean(vals) if vals else 0.0
+
+    def median_completion_ms(self) -> float:
+        vals = [
+            w.avg_completion_ms
+            for w in self.workers
+            if w.alive and w.tasks_completed > 0
+        ]
+        return statistics.median(vals) if vals else 0.0
+
+    def snapshot(self) -> list[dict]:
+        """Plain-data view of the whole table (the user-facing AC.STAT)."""
+        return [w.snapshot() for w in self.workers]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"StatTable(P={len(self.workers)}, "
+            f"available={self.num_available}, "
+            f"max_staleness={self.max_staleness}, "
+            f"version={self.current_version})"
+        )

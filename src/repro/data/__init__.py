@@ -1,0 +1,23 @@
+"""Datasets: matrix blocks, synthetic generators, LIBSVM I/O, registry."""
+
+from repro.data.blocks import MatrixBlock, split_matrix
+from repro.data.libsvm import dump_libsvm, load_libsvm
+from repro.data.registry import DatasetSpec, get_dataset, list_datasets
+from repro.data.synthetic import (
+    make_dense_regression,
+    make_classification,
+    make_sparse_regression,
+)
+
+__all__ = [
+    "MatrixBlock",
+    "split_matrix",
+    "load_libsvm",
+    "dump_libsvm",
+    "DatasetSpec",
+    "get_dataset",
+    "list_datasets",
+    "make_dense_regression",
+    "make_sparse_regression",
+    "make_classification",
+]

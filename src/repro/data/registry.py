@@ -1,0 +1,154 @@
+"""Dataset registry: scaled analogs of the paper's Table 2.
+
+=================  ==========  =========  ==========================
+Paper dataset      rows         cols       character
+=================  ==========  =========  ==========================
+rcv1_full.binary   697,641     47,236     sparse text features
+mnist8m            8,100,000   784        dense, many rows
+epsilon            400,000     2,000      dense, wide
+=================  ==========  =========  ==========================
+
+The analogs keep the *shape signatures* (sparse high-dimensional; dense
+row-heavy; dense column-heavy) at sizes that run in seconds. Each spec
+also records the paper's per-dataset hyperparameters from Section 6.1:
+SGD/SAGA sampling rates and the PCS batch fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.synthetic import make_dense_regression, make_sparse_regression
+from repro.errors import DataError
+
+__all__ = ["DatasetSpec", "get_dataset", "list_datasets", "REGISTRY"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset configuration with paper-matched hyperparameters."""
+
+    name: str
+    paper_name: str
+    n: int
+    d: int
+    sparse: bool
+    density: float
+    #: Mini-batch sampling rates from Section 6.1 ("Parameter tuning").
+    b_sgd: float
+    b_saga: float
+    b_pcs: float
+    #: Conditioning / noise used by the generator.
+    cond: float = 10.0
+    noise: float = 0.01
+    #: Tuned initial step sizes (the paper tunes per dataset, Section 6.1;
+    #: async variants divide by the worker count).
+    alpha_sgd: float = 0.5
+    alpha_saga: float = 0.05
+    #: Error target for time-to-error comparisons, as a fraction of the
+    #: initial error (rcv1-style problems converge slowly, so their
+    #: achievable target is looser — as in the paper's figures).
+    target_rel: float = 0.05
+
+    def generate(self, seed: int = 0):
+        """Materialize ``(X, y)`` deterministically."""
+        if self.sparse:
+            X, y, _ = make_sparse_regression(
+                self.n, self.d, density=self.density, noise=self.noise,
+                seed=seed,
+            )
+        else:
+            X, y, _ = make_dense_regression(
+                self.n, self.d, cond=self.cond, noise=self.noise, seed=seed,
+            )
+        return X, y
+
+    @property
+    def size_bytes(self) -> int:
+        if self.sparse:
+            nnz = int(self.n * max(1, round(self.density * self.d)))
+            return nnz * (8 + 8) + (self.n + 1) * 8
+        return self.n * self.d * 8
+
+
+REGISTRY: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="rcv1_like",
+            paper_name="rcv1_full.binary",
+            n=8192,
+            d=256,
+            sparse=True,
+            density=0.02,
+            b_sgd=0.05,
+            b_saga=0.02,
+            b_pcs=0.01,
+            alpha_sgd=2.0,
+            alpha_saga=0.5,
+            target_rel=0.75,
+        ),
+        DatasetSpec(
+            name="mnist8m_like",
+            paper_name="mnist8m",
+            n=16384,
+            d=96,
+            sparse=False,
+            density=1.0,
+            b_sgd=0.10,
+            b_saga=0.01,
+            b_pcs=0.01,
+            cond=20.0,
+            alpha_sgd=0.5,
+            alpha_saga=0.05,
+        ),
+        DatasetSpec(
+            name="epsilon_like",
+            paper_name="epsilon",
+            n=8192,
+            d=192,
+            sparse=False,
+            density=1.0,
+            b_sgd=0.10,
+            b_saga=0.10,
+            b_pcs=0.01,
+            cond=8.0,
+            alpha_sgd=1.0,
+            alpha_saga=0.1,
+        ),
+    ]
+}
+
+# Smaller twins for unit tests and quick examples.
+for _small in [
+    DatasetSpec(
+        name="tiny_dense", paper_name="(test)", n=512, d=16, sparse=False,
+        density=1.0, b_sgd=0.25, b_saga=0.1, b_pcs=0.1, cond=5.0,
+        alpha_sgd=0.5, alpha_saga=0.05,
+    ),
+    DatasetSpec(
+        name="tiny_sparse", paper_name="(test)", n=512, d=64, sparse=True,
+        density=0.05, b_sgd=0.25, b_saga=0.1, b_pcs=0.1,
+        alpha_sgd=1.0, alpha_saga=0.2, target_rel=0.5,
+    ),
+]:
+    REGISTRY[_small.name] = _small
+
+
+def list_datasets() -> list[str]:
+    return sorted(REGISTRY)
+
+
+def get_dataset(name: str, seed: int = 0):
+    """Return ``(X, y, spec)`` for a registered dataset name."""
+    try:
+        spec = REGISTRY[name]
+    except KeyError:
+        raise DataError(
+            f"unknown dataset {name!r}; available: {list_datasets()}"
+        ) from None
+    X, y = spec.generate(seed)
+    return X, y, spec

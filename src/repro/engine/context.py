@@ -1,0 +1,143 @@
+"""ClusterContext: the engine's driver entry point (Spark's ``sc``).
+
+Wires together a backend (simulated or threaded), the dispatcher, the BSP
+job scheduler and the broadcast manager, and provides factory methods for
+RDDs. A context is also a context manager::
+
+    with ClusterContext(num_workers=8, seed=0) as sc:
+        rdd = sc.parallelize(range(100), 8)
+        assert rdd.map(lambda x: x * x).sum() == 328350
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from typing import Any, Callable, Sequence
+
+from repro.cluster.backend import Backend
+from repro.cluster.cost import TaskCostModel
+from repro.cluster.network import NetworkModel
+from repro.cluster.simbackend import SimBackend
+from repro.cluster.stragglers import DelayModel
+from repro.engine.broadcast import Broadcast, BroadcastManager
+from repro.engine.dispatch import Dispatcher
+from repro.engine.matrix import MatrixRDD
+from repro.engine.rdd import RDD, ParallelCollectionRDD
+from repro.engine.scheduler import JobScheduler
+from repro.utils.rng import RngFactory
+
+__all__ = ["ClusterContext"]
+
+
+class ClusterContext:
+    """Driver-side handle to the cluster."""
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        *,
+        backend: Backend | None = None,
+        seed: int = 0,
+        cost_model: TaskCostModel | None = None,
+        network: NetworkModel | None = None,
+        delay_model: DelayModel | None = None,
+        default_parallelism: int | None = None,
+        job_timeout_s: float | None = 120.0,
+    ) -> None:
+        if backend is None:
+            backend = SimBackend(
+                num_workers,
+                cost_model=cost_model,
+                network=network,
+                delay_model=delay_model,
+                seed=seed,
+            )
+        self.backend = backend
+        self.seed = seed
+        self.rngs = RngFactory(seed)
+        self.dispatcher = Dispatcher(backend)
+        self.scheduler = JobScheduler(self)
+        self.broadcast_manager = BroadcastManager(self)
+        self.default_parallelism = default_parallelism or backend.num_workers
+        self.job_timeout_s = job_timeout_s
+        self.task_descriptor_bytes = 256
+        self._rdd_ids = itertools.count()
+        self._rdds: "weakref.WeakValueDictionary[int, RDD]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._stopped = False
+
+    # -- plumbing used by RDD -----------------------------------------------------
+    def _next_rdd_id(self) -> int:
+        return next(self._rdd_ids)
+
+    def _register_rdd(self, rdd: RDD) -> None:
+        self._rdds[rdd.rdd_id] = rdd
+
+    @property
+    def num_workers(self) -> int:
+        return self.backend.num_workers
+
+    def now(self) -> float:
+        """Current cluster time in ms (virtual or wall, per backend)."""
+        return self.backend.now()
+
+    # -- RDD factories ---------------------------------------------------------------
+    def parallelize(
+        self, data: Sequence, num_partitions: int | None = None
+    ) -> RDD:
+        """Distribute a driver-side collection."""
+        n = num_partitions or self.default_parallelism
+        return ParallelCollectionRDD(self, data, n)
+
+    def range(self, n: int, num_partitions: int | None = None) -> RDD:
+        return self.parallelize(range(n), num_partitions)
+
+    def matrix(self, X, y, num_partitions: int | None = None) -> MatrixRDD:
+        """Partition a labelled matrix row-wise into a MatrixRDD."""
+        n = num_partitions or self.default_parallelism
+        return MatrixRDD.from_arrays(self, X, y, n)
+
+    # -- cluster services ---------------------------------------------------------------
+    def broadcast(self, value: Any) -> Broadcast:
+        """Register an immutable value for on-demand worker replication."""
+        return self.broadcast_manager.new(value)
+
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[int, list], Any],
+        partitions: Sequence[int] | None = None,
+    ) -> list:
+        """Synchronously run ``func`` over partitions (BSP semantics)."""
+        return self.scheduler.run_job(rdd, func, partitions)
+
+    def owner_of(self, split: int) -> int:
+        """Locality rule: partition ``i`` prefers worker ``i mod P``."""
+        return split % self.num_workers
+
+    def partitions_of(self, worker_id: int, num_partitions: int) -> list[int]:
+        """Partitions resident on a worker under the locality rule."""
+        return [
+            p for p in range(num_partitions)
+            if self.owner_of(p) == worker_id
+        ]
+
+    # -- lifecycle -------------------------------------------------------------------------
+    def stop(self) -> None:
+        if not self._stopped:
+            self._stopped = True
+            self.backend.shutdown()
+
+    def __enter__(self) -> "ClusterContext":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ClusterContext(workers={self.num_workers}, "
+            f"backend={type(self.backend).__name__})"
+        )

@@ -1,0 +1,55 @@
+"""Lineage introspection over the RDD dependency DAG.
+
+Built on networkx; used by the fault-tolerance machinery's tests and by
+anyone debugging a pipeline. Every transformation records its parents, so
+the graph reconstructs exactly how a partition would be recomputed.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.engine.rdd import RDD
+
+__all__ = ["lineage_graph", "lineage_depth", "ancestors", "topological_order"]
+
+
+def lineage_graph(rdd: RDD) -> nx.DiGraph:
+    """Directed graph with edges parent -> child, rooted at sources."""
+    g = nx.DiGraph()
+    stack = [rdd]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if node.rdd_id in seen:
+            continue
+        seen.add(node.rdd_id)
+        g.add_node(
+            node.rdd_id,
+            kind=type(node).__name__,
+            cached=node.cached,
+            partitions=node.num_partitions,
+        )
+        for dep in node.deps:
+            g.add_edge(dep.rdd_id, node.rdd_id)
+            stack.append(dep)
+    return g
+
+
+def lineage_depth(rdd: RDD) -> int:
+    """Longest chain of transformations from any source to this RDD."""
+    g = nx.DiGraph()
+    _ = lineage_graph(rdd)
+    g = _
+    return int(nx.dag_longest_path_length(g)) if g.number_of_edges() else 0
+
+
+def ancestors(rdd: RDD) -> set[int]:
+    """rdd_ids this RDD transitively depends on (excluding itself)."""
+    g = lineage_graph(rdd)
+    return set(nx.ancestors(g, rdd.rdd_id))
+
+
+def topological_order(rdd: RDD) -> list[int]:
+    """Source-to-sink evaluation order of the lineage."""
+    return list(nx.topological_sort(lineage_graph(rdd)))

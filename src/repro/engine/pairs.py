@@ -1,0 +1,186 @@
+"""Key/value RDD operations with a driver-mediated shuffle.
+
+The paper's workloads never need a full shuffle (gradients are reduced,
+not re-keyed), but a credible Spark-like substrate should support the
+pair-RDD verbs. These implementations run the *map-side combine* as a
+distributed job (workers pre-aggregate per key — the expensive part),
+then merge the small combined partials on the driver and redistribute by
+hash partitioning.
+
+Scope note: this is a driver-mediated shuffle — appropriate when the
+post-combine key cardinality fits on the driver (aggregation statistics,
+model shards, vocabulary counts), which covers the ML-side uses. It is
+not a peer-to-peer terabyte shuffle.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import defaultdict
+from typing import Any, Callable, Hashable
+
+from repro.engine.rdd import RDD, ParallelCollectionRDD
+from repro.errors import EngineError
+
+__all__ = [
+    "key_by",
+    "map_values",
+    "reduce_by_key",
+    "group_by_key",
+    "count_by_key",
+    "join",
+    "distinct",
+]
+
+
+def _require_pairs(data: list, op: str) -> None:
+    for item in data[:1]:
+        if not (isinstance(item, tuple) and len(item) == 2):
+            raise EngineError(
+                f"{op} requires an RDD of (key, value) pairs; got "
+                f"{type(item).__name__}"
+            )
+
+
+def key_by(rdd: RDD, f: Callable[[Any], Hashable]) -> RDD:
+    """Pair each element with ``f(element)`` as its key."""
+    return rdd.map(lambda x: (f(x), x))
+
+
+def map_values(rdd: RDD, f: Callable[[Any], Any]) -> RDD:
+    """Transform values, keeping keys (and partitioning) intact."""
+
+    def per_partition(i: int, data: list) -> list:
+        _require_pairs(data, "map_values")
+        return [(k, f(v)) for k, v in data]
+
+    return rdd.map_partitions_with_index(per_partition)
+
+
+def _combined_partials(
+    rdd: RDD, zero_factory, seq_op, op_name: str
+) -> list[dict]:
+    """Map-side combine: one {key: partial} dict per partition."""
+
+    def combine(i: int, data: list) -> dict:
+        _require_pairs(data, op_name)
+        acc: dict = {}
+        for k, v in data:
+            if k in acc:
+                acc[k] = seq_op(acc[k], v)
+            else:
+                acc[k] = seq_op(zero_factory(), v) if zero_factory else v
+        return acc
+
+    return rdd.ctx.run_job(rdd, combine)
+
+
+def reduce_by_key(
+    rdd: RDD,
+    f: Callable[[Any, Any], Any],
+    num_partitions: int | None = None,
+) -> RDD:
+    """Merge values per key with an associative function.
+
+    Workers combine locally (the heavy pass over raw data); the driver
+    merges the per-partition partials and redistributes by key hash.
+    """
+    partials = _combined_partials(rdd, None, f, "reduce_by_key")
+    merged: dict = {}
+    for part in partials:
+        for k, v in part.items():
+            merged[k] = f(merged[k], v) if k in merged else v
+    return _repartition_pairs(rdd.ctx, merged.items(), num_partitions
+                              or rdd.num_partitions)
+
+
+def group_by_key(rdd: RDD, num_partitions: int | None = None) -> RDD:
+    """Collect all values per key into lists (order: partition order)."""
+    partials = _combined_partials(
+        rdd, list, lambda acc, v: acc + [v], "group_by_key"
+    )
+    merged: dict[Any, list] = defaultdict(list)
+    for part in partials:
+        for k, vs in part.items():
+            merged[k].extend(vs)
+    return _repartition_pairs(rdd.ctx, merged.items(), num_partitions
+                              or rdd.num_partitions)
+
+
+def count_by_key(rdd: RDD) -> dict:
+    """Action: number of values per key, returned to the driver."""
+    partials = _combined_partials(
+        rdd, lambda: 0, lambda acc, v: acc + 1, "count_by_key"
+    )
+    out: dict = defaultdict(int)
+    for part in partials:
+        for k, c in part.items():
+            out[k] += c
+    return dict(out)
+
+
+def join(left: RDD, right: RDD, num_partitions: int | None = None) -> RDD:
+    """Inner join on keys: ``(k, (lv, rv))`` for every value pair."""
+    lg = {k: vs for k, vs in group_by_key(left).collect()}
+    rg = {k: vs for k, vs in group_by_key(right).collect()}
+    rows = [
+        (k, (lv, rv))
+        for k in lg.keys() & rg.keys()
+        for lv in lg[k]
+        for rv in rg[k]
+    ]
+    return _repartition_pairs(
+        left.ctx, rows, num_partitions or left.num_partitions,
+        presorted=False,
+    )
+
+
+def distinct(rdd: RDD, num_partitions: int | None = None) -> RDD:
+    """Deduplicate elements (via reduce_by_key on identity keys)."""
+    keyed = rdd.map(lambda x: (x, None))
+    reduced = reduce_by_key(keyed, lambda a, b: a, num_partitions)
+    return reduced.map(lambda kv: kv[0])
+
+
+def _repartition_pairs(ctx, items, num_partitions: int,
+                       presorted: bool = False) -> RDD:
+    """Hash-partition (key, value) rows into a new root RDD."""
+    if num_partitions <= 0:
+        raise EngineError("num_partitions must be positive")
+    buckets: list[list] = [[] for _ in range(num_partitions)]
+    rows = items if presorted else sorted(
+        items, key=lambda kv: repr(kv[0])
+    )
+    for k, v in rows:
+        buckets[hash(k) % num_partitions].append((k, v))
+    flat = [pair for bucket in buckets for pair in bucket]
+    rdd = ParallelCollectionRDD(ctx, flat, num_partitions)
+    # Re-slice exactly along bucket boundaries for proper co-location.
+    rdd._slices = buckets
+    return rdd
+
+
+# -- RDD method wiring (kept here so rdd.py stays shuffle-free) ----------------
+
+def _install() -> None:
+    RDD.key_by = lambda self, f: key_by(self, f)
+    RDD.map_values = lambda self, f: map_values(self, f)
+    RDD.reduce_by_key = (
+        lambda self, f, num_partitions=None:
+        reduce_by_key(self, f, num_partitions)
+    )
+    RDD.group_by_key = (
+        lambda self, num_partitions=None:
+        group_by_key(self, num_partitions)
+    )
+    RDD.count_by_key = lambda self: count_by_key(self)
+    RDD.join = (
+        lambda self, other, num_partitions=None:
+        join(self, other, num_partitions)
+    )
+    RDD.distinct = (
+        lambda self, num_partitions=None: distinct(self, num_partitions)
+    )
+
+
+_install()

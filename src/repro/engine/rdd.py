@@ -1,0 +1,379 @@
+"""Resilient Distributed Datasets: lazy, lineage-tracked collections.
+
+The transformation/action split mirrors Spark: transformations build new
+RDD nodes lazily; actions walk the lineage inside worker tasks via
+:meth:`RDD.iterator`. Every transformation here is *narrow* (no shuffle):
+partition ``i`` of a child depends only on partition ``i`` of its parents,
+which is all the paper's workloads need and keeps recovery simple — a lost
+partition is recomputed by re-running its lineage on another worker.
+
+Caching stores computed partitions in the owning worker's block store
+(:class:`~repro.cluster.backend.WorkerEnv`); a cache miss after worker loss
+transparently falls back to recomputation, which is the engine's fault
+tolerance story (exercised in ``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+from repro.cluster.backend import WorkerEnv
+from repro.errors import EngineError
+from repro.utils.rng import spawn_generator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.context import ASYNCContext
+    from repro.core.stat import StatTable
+    from repro.engine.context import ClusterContext
+
+__all__ = ["RDD", "ParallelCollectionRDD"]
+
+_MISSING = object()
+
+
+class RDD:
+    """Base class: a lazy, partitioned collection with lineage."""
+
+    def __init__(
+        self,
+        ctx: "ClusterContext",
+        num_partitions: int | None = None,
+        deps: Sequence["RDD"] = (),
+    ) -> None:
+        self.ctx = ctx
+        self.rdd_id = ctx._next_rdd_id()
+        self.deps = list(deps)
+        if num_partitions is None:
+            if not self.deps:
+                raise EngineError("root RDD must declare num_partitions")
+            num_partitions = self.deps[0].num_partitions
+        self._num_partitions = int(num_partitions)
+        self.cached = False
+        #: True when partitions hold MatrixBlock payloads; controls whether
+        #: ``sample`` means row-subsampling (matrix) or element sampling.
+        #: Set by MatrixRDD and by pass-through nodes (barrier) that
+        #: preserve the payload type.
+        self.is_matrix_like = False
+        ctx._register_rdd(self)
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    def partitions(self) -> range:
+        return range(self._num_partitions)
+
+    def compute(self, split: int, env: WorkerEnv | None) -> list:
+        """Materialize partition ``split``. Subclasses implement this."""
+        raise NotImplementedError
+
+    def iterator(self, split: int, env: WorkerEnv | None) -> list:
+        """Compute through the cache: the engine's read path."""
+        if self.cached and env is not None:
+            key = ("rdd", self.rdd_id, split)
+            hit = env.get(key, _MISSING)
+            if hit is not _MISSING:
+                return hit
+            data = self.compute(split, env)
+            env.put(key, data)
+            return data
+        return self.compute(split, env)
+
+    # -- persistence --------------------------------------------------------------
+    def cache(self) -> "RDD":
+        """Keep computed partitions in worker memory (like ``persist()``)."""
+        self.cached = True
+        return self
+
+    persist = cache
+
+    def unpersist(self) -> "RDD":
+        """Drop cached partitions from every worker."""
+        self.cached = False
+        for env in self.ctx.backend.envs:
+            for split in self.partitions():
+                env.delete(("rdd", self.rdd_id, split))
+        return self
+
+    # -- transformations ------------------------------------------------------------
+    def map(self, f: Callable[[Any], Any]) -> "RDD":
+        """Element-wise transformation."""
+        return MappedRDD(self, f)
+
+    def filter(self, f: Callable[[Any], bool]) -> "RDD":
+        """Keep elements satisfying the predicate."""
+        return FilteredRDD(self, f)
+
+    def flat_map(self, f: Callable[[Any], Iterable[Any]]) -> "RDD":
+        """Map each element to zero or more elements."""
+        return FlatMappedRDD(self, f)
+
+    def map_partitions(self, f: Callable[[list], list]) -> "RDD":
+        """Transform whole partitions at once (vectorization hook)."""
+        return MapPartitionsRDD(self, lambda i, data: f(data))
+
+    def map_partitions_with_index(
+        self, f: Callable[[int, list], list]
+    ) -> "RDD":
+        return MapPartitionsRDD(self, f)
+
+    def sample(
+        self, fraction: float, seed: int = 0, with_replacement: bool = False
+    ) -> "RDD":
+        """Fixed-size uniform sampling (the paper's "sampling rate b").
+
+        On matrix-like RDDs this subsamples rows inside each block; on
+        generic RDDs it samples elements per partition.
+        """
+        if self.is_matrix_like:
+            from repro.engine.matrix import SampledMatrixRDD
+
+            return SampledMatrixRDD(self, fraction, seed, with_replacement)
+        return SampledRDD(self, fraction, seed, with_replacement)
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate partition lists of two RDDs."""
+        return UnionRDD(self, other)
+
+    def glom(self) -> "RDD":
+        """Wrap each partition's contents into a single list element."""
+        return MapPartitionsRDD(self, lambda i, data: [list(data)])
+
+    def zip_with_index(self) -> "RDD":
+        """Pair each element with its global index.
+
+        Like Spark, this triggers an eager job to count partition sizes so
+        offsets are exact.
+        """
+        counts = self.ctx.run_job(self, lambda split, data: len(data))
+        offsets = [0]
+        for c in counts[:-1]:
+            offsets.append(offsets[-1] + c)
+
+        def attach(i: int, data: list) -> list:
+            base = offsets[i]
+            return [(x, base + j) for j, x in enumerate(data)]
+
+        return MapPartitionsRDD(self, attach)
+
+    # -- actions ------------------------------------------------------------------
+    def collect(self) -> list:
+        """Materialize the whole dataset on the driver, in partition order."""
+        parts = self.ctx.run_job(self, lambda split, data: list(data))
+        out: list = []
+        for p in parts:
+            out.extend(p)
+        return out
+
+    def reduce(self, f: Callable[[Any, Any], Any]) -> Any:
+        """Associative reduction; raises on an empty RDD (Spark parity)."""
+        def part_reduce(split: int, data: list) -> tuple[bool, Any]:
+            if not data:
+                return (False, None)
+            return (True, functools.reduce(f, data))
+
+        parts = self.ctx.run_job(self, part_reduce)
+        values = [v for ok, v in parts if ok]
+        if not values:
+            raise EngineError("reduce() of empty RDD")
+        return functools.reduce(f, values)
+
+    def fold(self, zero: Any, f: Callable[[Any, Any], Any]) -> Any:
+        parts = self.ctx.run_job(
+            self, lambda split, data: functools.reduce(f, data, zero)
+        )
+        return functools.reduce(f, parts, zero)
+
+    def aggregate(
+        self,
+        zero: Any,
+        seq_op: Callable[[Any, Any], Any],
+        comb_op: Callable[[Any, Any], Any],
+    ) -> Any:
+        """Aggregate with distinct element/partial types, like Spark."""
+        parts = self.ctx.run_job(
+            self, lambda split, data: functools.reduce(seq_op, data, zero)
+        )
+        return functools.reduce(comb_op, parts, zero)
+
+    def count(self) -> int:
+        return sum(self.ctx.run_job(self, lambda split, data: len(data)))
+
+    def sum(self) -> Any:
+        parts = self.ctx.run_job(self, lambda split, data: sum(data))
+        return sum(parts)
+
+    def take(self, n: int) -> list:
+        """First ``n`` elements in partition order.
+
+        Evaluates one partition at a time, so ``take`` on a huge RDD only
+        computes the prefix it needs.
+        """
+        if n <= 0:
+            return []
+        out: list = []
+        for split in self.partitions():
+            part = self.ctx.run_job(
+                self, lambda s, data: list(data), partitions=[split]
+            )[0]
+            out.extend(part)
+            if len(out) >= n:
+                break
+        return out[:n]
+
+    def first(self) -> Any:
+        got = self.take(1)
+        if not got:
+            raise EngineError("first() of empty RDD")
+        return got[0]
+
+    def foreach_partition(self, f: Callable[[list], None]) -> None:
+        self.ctx.run_job(self, lambda split, data: f(data))
+
+    # -- ASYNC verbs (Table 1 of the paper) ------------------------------------------
+    def async_barrier(
+        self, predicate: Callable[["StatTable"], bool], stat: "StatTable"
+    ) -> "RDD":
+        """Attach a barrier-control predicate; see
+        :func:`repro.core.ops.async_barrier`."""
+        from repro.core.ops import async_barrier
+
+        return async_barrier(self, predicate, stat)
+
+    def async_reduce(
+        self, f: Callable[[Any, Any], Any], ac: "ASYNCContext"
+    ) -> list[int]:
+        """Asynchronously reduce per worker; results land in ``ac``.
+
+        Returns the workers that received tasks this round.
+        """
+        from repro.core.ops import async_reduce
+
+        return async_reduce(self, f, ac)
+
+    def async_aggregate(
+        self,
+        zero: Any,
+        seq_op: Callable[[Any, Any], Any],
+        comb_op: Callable[[Any, Any], Any],
+        ac: "ASYNCContext",
+    ) -> list[int]:
+        from repro.core.ops import async_aggregate
+
+        return async_aggregate(self, zero, seq_op, comb_op, ac)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"{type(self).__name__}(id={self.rdd_id}, "
+            f"partitions={self._num_partitions})"
+        )
+
+
+class ParallelCollectionRDD(RDD):
+    """Root RDD over a driver-side collection, split into slices."""
+
+    def __init__(self, ctx: "ClusterContext", data: Sequence, num_partitions: int):
+        if num_partitions <= 0:
+            raise EngineError("num_partitions must be positive")
+        super().__init__(ctx, num_partitions=num_partitions)
+        data = list(data)
+        n = len(data)
+        self._slices: list[list] = []
+        for i in range(num_partitions):
+            lo = (i * n) // num_partitions
+            hi = ((i + 1) * n) // num_partitions
+            self._slices.append(data[lo:hi])
+
+    def compute(self, split: int, env: WorkerEnv | None) -> list:
+        return list(self._slices[split])
+
+
+class MappedRDD(RDD):
+    def __init__(self, parent: RDD, f: Callable[[Any], Any]):
+        super().__init__(parent.ctx, deps=[parent])
+        self.f = f
+
+    def compute(self, split: int, env: WorkerEnv | None) -> list:
+        return [self.f(x) for x in self.deps[0].iterator(split, env)]
+
+
+class FilteredRDD(RDD):
+    def __init__(self, parent: RDD, f: Callable[[Any], bool]):
+        super().__init__(parent.ctx, deps=[parent])
+        self.f = f
+
+    def compute(self, split: int, env: WorkerEnv | None) -> list:
+        return [x for x in self.deps[0].iterator(split, env) if self.f(x)]
+
+
+class FlatMappedRDD(RDD):
+    def __init__(self, parent: RDD, f: Callable[[Any], Iterable[Any]]):
+        super().__init__(parent.ctx, deps=[parent])
+        self.f = f
+
+    def compute(self, split: int, env: WorkerEnv | None) -> list:
+        out: list = []
+        for x in self.deps[0].iterator(split, env):
+            out.extend(self.f(x))
+        return out
+
+
+class MapPartitionsRDD(RDD):
+    def __init__(self, parent: RDD, f: Callable[[int, list], list]):
+        super().__init__(parent.ctx, deps=[parent])
+        self.f = f
+
+    def compute(self, split: int, env: WorkerEnv | None) -> list:
+        return list(self.f(split, self.deps[0].iterator(split, env)))
+
+
+class SampledRDD(RDD):
+    """Per-partition uniform sampling with a deterministic stream.
+
+    The stream is keyed by ``(seed, split)``: a sampled RDD is identical no
+    matter which worker computes it or in what order (required for correct
+    recomputation after worker loss), and two ``sample`` calls with the
+    same seed select the same rows. Iterative algorithms pass a fresh seed
+    per iteration.
+    """
+
+    def __init__(
+        self, parent: RDD, fraction: float, seed: int, with_replacement: bool
+    ):
+        if not 0.0 < fraction <= 1.0:
+            raise EngineError(f"fraction must be in (0, 1], got {fraction}")
+        super().__init__(parent.ctx, deps=[parent])
+        self.fraction = fraction
+        self.seed = seed
+        self.with_replacement = with_replacement
+
+    def compute(self, split: int, env: WorkerEnv | None) -> list:
+        data = self.deps[0].iterator(split, env)
+        if not data:
+            return []
+        rng = spawn_generator(self.seed, "sample", split)
+        size = max(1, int(round(self.fraction * len(data))))
+        if self.with_replacement:
+            idx = rng.integers(0, len(data), size=size)
+        else:
+            idx = rng.choice(len(data), size=min(size, len(data)), replace=False)
+        return [data[int(i)] for i in idx]
+
+
+class UnionRDD(RDD):
+    """Concatenation: partitions of ``left`` followed by ``right``."""
+
+    def __init__(self, left: RDD, right: RDD):
+        super().__init__(
+            left.ctx,
+            num_partitions=left.num_partitions + right.num_partitions,
+            deps=[left, right],
+        )
+
+    def compute(self, split: int, env: WorkerEnv | None) -> list:
+        left = self.deps[0]
+        if split < left.num_partitions:
+            return left.iterator(split, env)
+        return self.deps[1].iterator(split - left.num_partitions, env)

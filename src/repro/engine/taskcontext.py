@@ -1,0 +1,53 @@
+"""Task-local execution context.
+
+Closures executing inside a task (gradient kernels, samplers) sometimes
+need to talk to the worker environment — to report how much work they did
+(`record_cost`) or that they pulled bytes from the driver (`record_fetch`)
+— without threading ``env`` through every user-facing function signature.
+A context variable scoped to the task body provides that channel; it works
+identically under the single-threaded simulation and the thread backend
+(each worker thread has its own context).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import Iterator
+
+from repro.cluster.backend import WorkerEnv
+
+__all__ = ["task_env", "current_env", "record_cost", "record_fetch"]
+
+_current_env: contextvars.ContextVar[WorkerEnv | None] = contextvars.ContextVar(
+    "repro_task_env", default=None
+)
+
+
+@contextlib.contextmanager
+def task_env(env: WorkerEnv | None) -> Iterator[None]:
+    """Bind ``env`` as the ambient worker environment for a task body."""
+    token = _current_env.set(env)
+    try:
+        yield
+    finally:
+        _current_env.reset(token)
+
+
+def current_env() -> WorkerEnv | None:
+    """The worker environment of the task currently executing, if any."""
+    return _current_env.get()
+
+
+def record_cost(units: float) -> None:
+    """Report work volume from inside a task closure (no-op on driver)."""
+    env = _current_env.get()
+    if env is not None:
+        env.record_cost(units)
+
+
+def record_fetch(nbytes: int) -> None:
+    """Report a driver fetch from inside a task closure (no-op on driver)."""
+    env = _current_env.get()
+    if env is not None:
+        env.record_fetch(nbytes)

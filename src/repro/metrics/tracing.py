@@ -1,0 +1,76 @@
+"""Task-trace summaries for debugging and the benchmark reports.
+
+The dispatcher's metrics log is the ground-truth event record of a run;
+these helpers aggregate it into the views the benchmarks print
+(per-worker task counts, byte volumes, a human-readable timeline).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable
+
+from repro.cluster.backend import TaskMetrics
+
+__all__ = ["tasks_per_worker", "bytes_summary", "timeline", "busy_fraction"]
+
+
+def tasks_per_worker(metrics: Iterable[TaskMetrics]) -> dict[int, int]:
+    """Completed-task counts keyed by worker."""
+    counts: Counter[int] = Counter()
+    for m in metrics:
+        if m.task_id >= 0:
+            counts[m.worker_id] += 1
+    return dict(sorted(counts.items()))
+
+
+def bytes_summary(metrics: Iterable[TaskMetrics]) -> dict[str, int]:
+    """Total driver->worker, worker->driver and on-demand fetch bytes."""
+    totals = {"in_bytes": 0, "out_bytes": 0, "fetch_bytes": 0}
+    for m in metrics:
+        totals["in_bytes"] += m.in_bytes
+        totals["out_bytes"] += m.out_bytes
+        totals["fetch_bytes"] += m.fetch_bytes
+    return totals
+
+
+def busy_fraction(
+    metrics: Iterable[TaskMetrics], horizon_ms: float
+) -> dict[int, float]:
+    """Fraction of the horizon each worker spent computing.
+
+    Under BSP with a straggler, fast workers' busy fractions crater; under
+    ASP they stay high — a compact summary of the hardware-efficiency
+    argument of Section 3.
+    """
+    if horizon_ms <= 0:
+        raise ValueError("horizon_ms must be positive")
+    busy: dict[int, float] = defaultdict(float)
+    for m in metrics:
+        if m.task_id >= 0:
+            busy[m.worker_id] += max(m.compute_ms, 0.0)
+    return {
+        w: min(t / horizon_ms, 1.0) for w, t in sorted(busy.items())
+    }
+
+
+def timeline(
+    metrics: Iterable[TaskMetrics], limit: int | None = None
+) -> list[dict]:
+    """Chronological human-readable task records."""
+    rows = [
+        {
+            "task": m.task_id,
+            "job": m.job_id,
+            "worker": m.worker_id,
+            "submitted": round(m.submitted_ms, 3),
+            "started": round(m.started_ms, 3),
+            "finished": round(m.finished_ms, 3),
+            "delivered": round(m.delivered_ms, 3),
+            "compute_ms": round(m.compute_ms, 3),
+            "delay": m.delay_factor,
+        }
+        for m in sorted(metrics, key=lambda m: m.submitted_ms)
+        if m.task_id >= 0
+    ]
+    return rows[:limit] if limit is not None else rows

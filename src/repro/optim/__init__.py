@@ -1,0 +1,60 @@
+"""Optimization algorithms: the paper's case studies plus extensions.
+
+Synchronous (Spark-style BSP) and asynchronous (ASYNC) variants of:
+
+- mini-batch SGD (Algorithms 1 & 2),
+- SAGA (Algorithms 3 & 4), with both the naive full-table broadcast the
+  paper criticizes and the history broadcast it contributes,
+- SVRG-style epoch-based variance reduction (Listing 3),
+
+plus staleness-adaptive step sizes (Listing 1) and single-process
+reference implementations used for the MLlib comparison (Figure 2).
+"""
+
+from repro.optim.admm import AsyncADMM, SyncADMM
+from repro.optim.asaga import AsyncSAGA
+from repro.optim.asgd import AsyncSGD
+from repro.optim.base import OptimizerConfig, RunResult
+from repro.optim.problems import (
+    LeastSquaresProblem,
+    LogisticRegressionProblem,
+    Problem,
+    RidgeProblem,
+)
+from repro.optim.reference import reference_saga, reference_sgd
+from repro.optim.saga import SyncSAGA
+from repro.optim.sgd import SyncSGD
+from repro.optim.stepsize import (
+    ConstantStep,
+    InvSqrtDecay,
+    PolyDecay,
+    StalenessScaled,
+    StepSchedule,
+)
+from repro.optim.svrg import AsyncSVRG, SyncSVRG
+from repro.optim.trace import ConvergenceTrace
+
+__all__ = [
+    "Problem",
+    "LeastSquaresProblem",
+    "RidgeProblem",
+    "LogisticRegressionProblem",
+    "StepSchedule",
+    "ConstantStep",
+    "InvSqrtDecay",
+    "PolyDecay",
+    "StalenessScaled",
+    "OptimizerConfig",
+    "RunResult",
+    "ConvergenceTrace",
+    "SyncSGD",
+    "AsyncSGD",
+    "SyncSAGA",
+    "AsyncSAGA",
+    "SyncSVRG",
+    "AsyncSVRG",
+    "SyncADMM",
+    "AsyncADMM",
+    "reference_sgd",
+    "reference_saga",
+]

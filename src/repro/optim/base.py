@@ -1,0 +1,154 @@
+"""Shared optimizer scaffolding: configs, results, broadcast helpers.
+
+Every distributed optimizer follows the same driver shape:
+
+1. build/receive a :class:`~repro.engine.matrix.MatrixRDD` of the data,
+2. loop rounds: broadcast the model, launch gradient tasks (BSP job for
+   synchronous methods, ASYNC round for asynchronous ones), apply
+   update(s),
+3. record snapshots into a :class:`~repro.optim.trace.ConvergenceTrace`,
+4. stop on ``max_updates`` or ``max_time_ms``.
+
+The class hierarchy keeps that loop in one place so the per-algorithm
+files contain only the mathematics that distinguishes them — mirroring
+the paper's claim that sync -> async is "a few extra lines".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.barriers import BarrierPolicy
+from repro.engine.context import ClusterContext
+from repro.engine.matrix import MatrixRDD
+from repro.engine.taskcontext import current_env
+from repro.errors import OptimError
+from repro.optim.problems import Problem
+from repro.optim.stepsize import StepSchedule
+from repro.optim.trace import ConvergenceTrace
+from repro.utils.rng import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.backend import TaskMetrics
+
+__all__ = ["OptimizerConfig", "RunResult", "DistributedOptimizer", "bc_value"]
+
+
+def bc_value(bc: Any) -> Any:
+    """Read a broadcast (plain or history) inside a task closure.
+
+    Resolves the ambient worker environment via the task context so user
+    code matches the paper's ``w_br.value`` spelling.
+    """
+    return bc.value(current_env())
+
+
+@dataclass
+class OptimizerConfig:
+    """Run parameters shared by all optimizers.
+
+    ``batch_fraction`` is the paper's sampling rate ``b``; ``max_updates``
+    counts *model updates* (one per iteration for sync methods, one per
+    collected result for async ones); ``max_time_ms`` bounds cluster time;
+    ``eval_every`` controls snapshot density.
+    """
+
+    batch_fraction: float = 0.1
+    max_updates: int = 100
+    max_time_ms: float = float("inf")
+    eval_every: int = 1
+    seed: int = 0
+    #: What the step schedule's ``t`` counts for *asynchronous* methods.
+    #: "pass" (default): t = ceil(updates / P) — one tick per cluster-wide
+    #: equivalent of a synchronous iteration, so the async decay cadence
+    #: matches the sync variant's (the paper's tuning rule divides the
+    #: initial step by P but keeps the same decay). "update": t advances
+    #: on every applied result (P times faster decay on P workers).
+    step_time: str = "pass"
+    #: Maximum in-flight tasks per worker for asynchronous methods.
+    #: 1 (the paper's model) = a worker is available iff idle; larger
+    #: values pipeline submissions across the dispatch round-trip.
+    pipeline_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.batch_fraction <= 1:
+            raise OptimError("batch_fraction must be in (0, 1]")
+        if self.max_updates <= 0:
+            raise OptimError("max_updates must be positive")
+        if self.eval_every <= 0:
+            raise OptimError("eval_every must be positive")
+        if self.step_time not in ("pass", "update"):
+            raise OptimError("step_time must be 'pass' or 'update'")
+        if self.pipeline_depth < 1:
+            raise OptimError("pipeline_depth must be >= 1")
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one optimization run."""
+
+    w: np.ndarray
+    trace: ConvergenceTrace
+    updates: int
+    elapsed_ms: float
+    rounds: int = 0
+    algorithm: str = ""
+    #: Slice of the dispatcher's metrics log covering this run.
+    metrics: list["TaskMetrics"] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    def final_error(self, problem: Problem) -> float:
+        return problem.error(self.w)
+
+
+class DistributedOptimizer:
+    """Base driver: owns the context, data RDD, problem and schedule."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        ctx: ClusterContext,
+        points: MatrixRDD,
+        problem: Problem,
+        step: StepSchedule,
+        config: OptimizerConfig | None = None,
+        barrier: BarrierPolicy | None = None,
+    ) -> None:
+        if points.dim != problem.dim:
+            raise OptimError(
+                f"data dim {points.dim} != problem dim {problem.dim}"
+            )
+        self.ctx = ctx
+        self.points = points
+        self.problem = problem
+        self.step = step
+        self.config = config or OptimizerConfig()
+        self.barrier = barrier
+        self.n_total = points.n_rows
+
+    # -- helpers shared by subclasses -------------------------------------------------
+    def _round_seed(self, round_idx: int) -> int:
+        return stable_hash((self.config.seed, self.name, round_idx))
+
+    def _step_index(self, updates: int) -> int:
+        """Schedule index for async methods per ``config.step_time``."""
+        if self.config.step_time == "update":
+            return max(updates, 1)
+        per_pass = max(self.ctx.num_workers, 1)
+        return max(1, -(-updates // per_pass))  # ceil division
+
+    def _metrics_window(self, start_len: int) -> list:
+        return self.ctx.dispatcher.metrics_log[start_len:]
+
+    def _should_stop(self, updates: int) -> bool:
+        return (
+            updates >= self.config.max_updates
+            or self.ctx.now() >= self.config.max_time_ms
+        )
+
+    def run(self) -> RunResult:  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,222 @@
+"""Epoch-based variance reduction (SVRG), sync and async inner loops.
+
+Listing 3 of the paper: each epoch takes a synchronous full-gradient pass
+(``mu = grad F(w_tilde)``) using the engine's BSP path, then runs inner
+mini-batch iterations with the variance-reduced direction
+
+    g = (1/|S|) sum_s [grad f_s(w) - grad f_s(w_tilde)] + mu
+
+— synchronously (SyncSVRG) or through the ASYNC layer (AsyncSVRG), where
+asynchronous updates happen *between* the epoch barriers. This is the
+class of algorithms [29, 56, 71] the paper says ASYNC supports by mixing
+its async primitives with Spark's synchronous reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.barriers import ASP
+from repro.core.context import ASYNCContext
+from repro.data.blocks import MatrixBlock
+from repro.engine.taskcontext import record_cost
+from repro.errors import OptimError
+from repro.optim.base import DistributedOptimizer, OptimizerConfig, RunResult, bc_value
+from repro.optim.trace import ConvergenceTrace
+
+__all__ = ["SyncSVRG", "AsyncSVRG"]
+
+
+def _add_pairs(a, b):
+    return (a[0] + b[0], a[1] + b[1])
+
+
+class _SVRGBase(DistributedOptimizer):
+    """Shared epoch machinery."""
+
+    def __init__(self, *args, inner_iterations: int = 10, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if inner_iterations <= 0:
+            raise OptimError("inner_iterations must be positive")
+        self.inner_iterations = inner_iterations
+
+    def _full_gradient(self, w: np.ndarray) -> np.ndarray:
+        problem = self.problem
+        w_br = self.ctx.broadcast(np.array(w, copy=True))
+
+        def task(split: int, data: list):
+            block: MatrixBlock = data[0]
+            record_cost(block.cost_units())
+            return problem.grad_sum(block.X, block.y, bc_value(w_br))
+
+        parts = self.ctx.run_job(self.points, task)
+        mu = sum(parts) / self.n_total
+        if problem.lam:
+            mu = mu + problem.lam * w
+        return mu
+
+    def _vr_direction(self, g_new, g_old, count, mu, w):
+        problem = self.problem
+        g = (g_new - g_old) / count + mu
+        # mu already contains the regularizer gradient at w_tilde; correct
+        # it to the current iterate.
+        if problem.lam:
+            g = g + problem.lam * (w - self._w_tilde)
+        return g
+
+
+class SyncSVRG(_SVRGBase):
+    """Synchronous SVRG (Johnson & Zhang) on the BSP path."""
+
+    name = "svrg"
+
+    def run(self) -> RunResult:
+        cfg = self.config
+        problem = self.problem
+        w = problem.initial_point()
+        trace = ConvergenceTrace()
+        trace.record(self.ctx.now(), 0, w)
+        metrics_start = len(self.ctx.dispatcher.metrics_log)
+
+        updates = 0
+        epoch = 0
+        while not self._should_stop(updates):
+            self._w_tilde = np.array(w, copy=True)
+            mu = self._full_gradient(self._w_tilde)
+            wt_br = self.ctx.broadcast(self._w_tilde)
+            epoch += 1
+            for _ in range(self.inner_iterations):
+                if self._should_stop(updates):
+                    break
+                w_br = self.ctx.broadcast(w)
+                batch = self.points.sample(
+                    cfg.batch_fraction, seed=self._round_seed(updates + 1)
+                )
+
+                def task(split: int, data: list, _w=w_br, _wt=wt_br):
+                    g_sum = None
+                    h_sum = None
+                    count = 0
+                    for block in data:
+                        g = problem.grad_sum(block.X, block.y, bc_value(_w))
+                        h = problem.grad_sum(block.X, block.y, bc_value(_wt))
+                        record_cost(block.cost_units())
+                        g_sum = g if g_sum is None else g_sum + g
+                        h_sum = h if h_sum is None else h_sum + h
+                        count += block.rows
+                    return (g_sum, h_sum), count
+
+                parts = self.ctx.run_job(batch, task)
+                g_new = sum(p[0][0] for p in parts if p[0][0] is not None)
+                g_old = sum(p[0][1] for p in parts if p[0][1] is not None)
+                count = sum(p[1] for p in parts)
+                updates += 1
+                g = self._vr_direction(g_new, g_old, count, mu, w)
+                w = w - self.step.alpha(updates) * g
+                if updates % cfg.eval_every == 0:
+                    trace.record(self.ctx.now(), updates, w)
+                w_br.destroy()
+
+        if trace.updates[-1] != updates:
+            trace.record(self.ctx.now(), updates, w)
+        return RunResult(
+            w=w, trace=trace, updates=updates, elapsed_ms=self.ctx.now(),
+            rounds=epoch, algorithm=self.name,
+            metrics=self._metrics_window(metrics_start),
+            extras={"epochs": epoch},
+        )
+
+
+class AsyncSVRG(_SVRGBase):
+    """SVRG with an asynchronous inner loop (Listing 3)."""
+
+    name = "asvrg"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.barrier is None:
+            self.barrier = ASP()
+
+    def run(self) -> RunResult:
+        cfg = self.config
+        problem = self.problem
+        ac = ASYNCContext(
+            self.ctx, default_barrier=self.barrier,
+            pipeline_depth=cfg.pipeline_depth,
+        )
+        w = problem.initial_point()
+        trace = ConvergenceTrace()
+        trace.record(self.ctx.now(), 0, w)
+        metrics_start = len(self.ctx.dispatcher.metrics_log)
+
+        updates = 0
+        epoch = 0
+        rounds = 0
+        while not self._should_stop(updates):
+            # Epoch barrier: wait out in-flight inner tasks, then the
+            # synchronous full-gradient reduction.
+            ac.wait_all()
+            ac.drain()
+            self._w_tilde = np.array(w, copy=True)
+            mu = self._full_gradient(self._w_tilde)
+            wt_br = self.ctx.broadcast(self._w_tilde)
+            epoch += 1
+
+            def apply(record) -> None:
+                nonlocal w, updates
+                if updates >= cfg.max_updates:
+                    return  # budget exhausted; drop late results
+                (g_sum, h_sum), count = record.value
+                if count == 0:
+                    return
+                updates += 1
+                g = self._vr_direction(g_sum, h_sum, count, mu, w)
+                alpha = self.step.alpha(
+                    self._step_index(updates), record.staleness
+                )
+                w = w - alpha * g
+                ac.model_updated()
+                if updates % cfg.eval_every == 0:
+                    trace.record(self.ctx.now(), updates, w)
+
+            inner = 0
+            while inner < self.inner_iterations and not self._should_stop(updates):
+                w_br = self.ctx.broadcast(w)
+                batch = (
+                    self.points
+                    .async_barrier(self.barrier, ac.stat)
+                    .sample(cfg.batch_fraction, seed=self._round_seed(rounds + 1))
+                )
+                def kernel(blk, _w=w_br, _wt=wt_br):
+                    # Second gradient pass (at w_tilde) costs another
+                    # sweep over the batch.
+                    record_cost(blk.cost_units())
+                    return (
+                        (
+                            problem.grad_sum(blk.X, blk.y, bc_value(_w)),
+                            problem.grad_sum(blk.X, blk.y, bc_value(_wt)),
+                        ),
+                        blk.rows,
+                    )
+
+                batch.map(kernel).async_reduce(
+                    lambda a, b: (_add_pairs(a[0], b[0]), a[1] + b[1]), ac
+                )
+                rounds += 1
+                inner += 1
+                if ac.has_next(block=True):
+                    apply(ac.collect_all(block=True))
+                while ac.has_next(block=False):
+                    apply(ac.collect_all(block=False))
+
+        end_ms = self.ctx.now()
+        if trace.updates[-1] != updates:
+            trace.record(end_ms, updates, w)
+        ac.wait_all()
+        ac.drain()
+        return RunResult(
+            w=w, trace=trace, updates=updates, elapsed_ms=end_ms,
+            rounds=rounds, algorithm=self.name,
+            metrics=self._metrics_window(metrics_start),
+            extras={"epochs": epoch, "lost_tasks": ac.lost_tasks},
+        )

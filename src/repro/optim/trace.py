@@ -1,0 +1,83 @@
+"""Convergence traces: (time, update-count, model snapshot) series.
+
+Snapshots are recorded during the run (cheap copies of the small model
+vector); errors are evaluated *after* the run against the problem's exact
+optimum, so evaluation cost never pollutes the timeline — important
+because the paper's figures plot suboptimality against cluster time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import OptimError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.optim.problems import Problem
+
+__all__ = ["ConvergenceTrace"]
+
+
+class ConvergenceTrace:
+    """Timeline of model snapshots taken during an optimization run."""
+
+    def __init__(self) -> None:
+        self.times_ms: list[float] = []
+        self.updates: list[int] = []
+        self.snapshots: list[np.ndarray] = []
+
+    def record(self, time_ms: float, updates: int, w: np.ndarray) -> None:
+        """Append a snapshot (copies ``w``)."""
+        if self.times_ms and time_ms < self.times_ms[-1] - 1e-9:
+            raise OptimError(
+                f"trace time went backwards: {self.times_ms[-1]} -> {time_ms}"
+            )
+        self.times_ms.append(float(time_ms))
+        self.updates.append(int(updates))
+        self.snapshots.append(np.array(w, copy=True))
+
+    def __len__(self) -> int:
+        return len(self.times_ms)
+
+    @property
+    def final_w(self) -> np.ndarray:
+        if not self.snapshots:
+            raise OptimError("empty trace")
+        return self.snapshots[-1]
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.times_ms[-1] if self.times_ms else 0.0
+
+    # -- evaluation ---------------------------------------------------------------
+    def errors(self, problem: "Problem") -> np.ndarray:
+        """Suboptimality ``F(w_k) - F*`` for each snapshot."""
+        return np.array([problem.error(w) for w in self.snapshots])
+
+    def error_series(self, problem: "Problem") -> list[tuple[float, float]]:
+        """``(time_ms, error)`` pairs — one figure line."""
+        errs = self.errors(problem)
+        return list(zip(self.times_ms, errs.tolist()))
+
+    def final_error(self, problem: "Problem") -> float:
+        return problem.error(self.final_w)
+
+    def time_to_error(self, problem: "Problem", target: float) -> float:
+        """First timestamp at which the error reaches ``target``.
+
+        Returns ``inf`` if the run never got there — callers compare
+        finite values to compute the speedups of Section 6.3.
+        """
+        if target <= 0:
+            raise OptimError("target error must be positive")
+        for t, w in zip(self.times_ms, self.snapshots):
+            if problem.error(w) <= target:
+                return t
+        return math.inf
+
+    def best_error(self, problem: "Problem") -> float:
+        errs = self.errors(problem)
+        return float(errs.min()) if len(errs) else math.inf

@@ -1,0 +1,75 @@
+"""Deterministic random number management.
+
+All randomness in the library flows through :class:`RngFactory` so that a
+single integer seed makes an entire distributed experiment reproducible:
+dataset generation, mini-batch sampling on every worker, straggler delays
+and network jitter all draw from independent, collision-free streams.
+
+Streams are derived with ``numpy``'s ``SeedSequence.spawn_key`` mechanism
+keyed by small structured tuples (e.g. ``("worker", worker_id, task_seq)``),
+which guarantees independence without any shared mutable state — important
+because the thread backend samples from several streams concurrently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["RngFactory", "spawn_generator", "stable_hash"]
+
+
+def stable_hash(parts: Iterable[object]) -> int:
+    """Hash a tuple of printable parts into a stable 63-bit integer.
+
+    ``hash()`` is salted per-process for strings, so we hash the repr with
+    blake2b instead. Used to key RNG streams by structured names.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        h.update(repr(part).encode("utf8"))
+        h.update(b"\x00")
+    return int.from_bytes(h.digest(), "little") & (2**63 - 1)
+
+
+def spawn_generator(seed: int, *key: object) -> np.random.Generator:
+    """Return an independent Generator for ``(seed, *key)``.
+
+    The same ``(seed, key)`` always yields the same stream; distinct keys
+    yield streams that are independent for all practical purposes.
+    """
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=(stable_hash(key),))
+    return np.random.Generator(np.random.PCG64(ss))
+
+
+class RngFactory:
+    """Factory of named, independent random streams under one root seed.
+
+    Example
+    -------
+    >>> rngs = RngFactory(7)
+    >>> a = rngs.get("worker", 0)
+    >>> b = rngs.get("worker", 1)
+    >>> a is not b
+    True
+    >>> float(a.random()) != float(b.random())
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = int(seed)
+
+    def get(self, *key: object) -> np.random.Generator:
+        """Return a fresh Generator for the given structured key."""
+        return spawn_generator(self.seed, *key)
+
+    def child(self, *key: object) -> "RngFactory":
+        """Derive a sub-factory whose streams are independent of this one."""
+        return RngFactory(stable_hash((self.seed, *key)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngFactory(seed={self.seed})"

@@ -1,0 +1,108 @@
+"""Small online statistics helpers used by the STAT table and metrics.
+
+These are deliberately allocation-free and O(1) per update: the
+ASYNCcoordinator updates a worker's average-task-completion time on every
+task completion, which sits on the engine's hot path.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["OnlineMean", "OnlineMeanVar", "Welford", "ExponentialMovingAverage"]
+
+
+class OnlineMean:
+    """Running arithmetic mean without storing samples."""
+
+    __slots__ = ("count", "mean")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        self.mean += (x - self.mean) / self.count
+
+    def merge(self, other: "OnlineMean") -> None:
+        """Fold another accumulator into this one (for tree aggregation)."""
+        if other.count == 0:
+            return
+        total = self.count + other.count
+        self.mean += (other.mean - self.mean) * other.count / total
+        self.count = total
+
+    @property
+    def value(self) -> float:
+        return self.mean if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"OnlineMean(count={self.count}, mean={self.mean:.6g})"
+
+
+class OnlineMeanVar:
+    """Welford's online mean/variance."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 until two samples have been seen)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineMeanVar") -> None:
+        """Chan et al. parallel merge."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self._m2 = other.count, other.mean, other._m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+
+
+# Alias matching the textbook name; several tests refer to it.
+Welford = OnlineMeanVar
+
+
+class ExponentialMovingAverage:
+    """EMA with configurable smoothing, used for adaptive barrier metrics."""
+
+    __slots__ = ("alpha", "_value", "_initialized")
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = 0.0
+        self._initialized = False
+
+    def add(self, x: float) -> None:
+        if not self._initialized:
+            self._value = x
+            self._initialized = True
+        else:
+            self._value += self.alpha * (x - self._value)
+
+    @property
+    def value(self) -> float:
+        return self._value

@@ -1,0 +1,59 @@
+"""ASCII table rendering for the benchmark harness output.
+
+The harness prints paper-style rows (e.g. Table 3's average wait times).
+This formatter keeps the output aligned and diff-friendly without pulling
+in any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(x: Any, digits: int = 4) -> str:
+    """Render numbers compactly: floats with fixed significant digits."""
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        magnitude = abs(x)
+        if magnitude >= 10 ** (digits + 2) or magnitude < 10 ** (-digits):
+            return f"{x:.{digits}g}"
+        return f"{x:.{digits}g}"
+    return str(x)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    digits: int = 4,
+) -> str:
+    """Format a list of rows as a fixed-width ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    str_rows = [[format_float(c, digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Table 1 parity: every operation the paper's API lists exists here.
+
+=====================  ==========================================
+Paper (Table 1)        repro
+=====================  ==========================================
+ASYNCreduce            RDD.async_reduce(f, AC)
+ASYNCaggregate         RDD.async_aggregate(zero, seqOp, combOp, AC)
+ASYNCbarrier           RDD.async_barrier(f, AC.stat)
+ASYNCcollect()         AC.collect()
+ASYNCcollectAll()      AC.collect_all()
+ASYNCbroadcast(T)      AC.async_broadcast(value)
+AC.STAT                AC.stat / AC.stat.snapshot()
+AC.hasNext()           AC.has_next()
+=====================  ==========================================
+"""
+
+import inspect
+
+import numpy as np
+
+from repro import (
+    ASP,
+    BSP,
+    SSP,
+    ASYNCContext,
+    AsyncSAGA,
+    AsyncSGD,
+    AsyncSVRG,
+    ClusterContext,
+    ConstantStep,
+    InvSqrtDecay,
+    LeastSquaresProblem,
+    LogisticRegressionProblem,
+    MinAvailableFraction,
+    OptimizerConfig,
+    PolyDecay,
+    RidgeProblem,
+    StalenessScaled,
+    SyncSAGA,
+    SyncSGD,
+    SyncSVRG,
+)
+from repro.engine.rdd import RDD
+
+
+def test_table1_actions_exist():
+    assert callable(RDD.async_reduce)
+    assert callable(RDD.async_aggregate)
+    sig = inspect.signature(RDD.async_aggregate)
+    assert list(sig.parameters) == ["self", "zero", "seq_op", "comb_op", "ac"]
+
+
+def test_table1_transformations_exist():
+    assert callable(RDD.async_barrier)
+    sig = inspect.signature(RDD.async_barrier)
+    assert list(sig.parameters) == ["self", "predicate", "stat"]
+
+
+def test_table1_methods_exist():
+    for name in ("collect", "collect_all", "async_broadcast", "has_next"):
+        assert callable(getattr(ASYNCContext, name))
+    assert isinstance(
+        inspect.getattr_static(ASYNCContext, "version"), property
+    )
+
+
+def test_ac_stat_exposes_worker_status(ctx):
+    ac = ASYNCContext(ctx)
+    snap = ac.stat.snapshot()
+    assert len(snap) == ctx.num_workers
+    for row in snap:
+        for key in ("worker_id", "available", "last_staleness",
+                    "avg_completion_ms"):
+            assert key in row
+
+
+def test_top_level_exports_constructible(ctx):
+    X = np.random.default_rng(0).standard_normal((32, 4))
+    y = X @ np.ones(4)
+    for P in (LeastSquaresProblem, RidgeProblem):
+        P(X, y) if P is LeastSquaresProblem else P(X, y, lam=0.1)
+    LogisticRegressionProblem(X, np.where(y > 0, 1.0, -1.0))
+    for s in (ConstantStep(0.1), InvSqrtDecay(0.1), PolyDecay(0.1),
+              StalenessScaled(ConstantStep(0.1))):
+        assert s.alpha(1, 0) > 0
+    for b in (ASP(), BSP(), SSP(2), MinAvailableFraction(0.5)):
+        assert hasattr(b, "ready")
+    assert issubclass(ClusterContext, object)
+    for opt in (SyncSGD, AsyncSGD, SyncSAGA, AsyncSAGA, SyncSVRG, AsyncSVRG):
+        assert hasattr(opt, "run")
+    OptimizerConfig()
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__ == "1.0.0"

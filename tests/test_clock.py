@@ -1,0 +1,50 @@
+"""Clock semantics: monotone virtual time, wall clock sanity."""
+
+import time
+
+import pytest
+
+from repro.cluster.clock import VirtualClock, WallClock
+from repro.errors import ClockError
+
+
+def test_virtual_starts_at_zero():
+    assert VirtualClock().now() == 0.0
+
+
+def test_virtual_advances_forward():
+    c = VirtualClock()
+    c.advance_to(5.0)
+    assert c.now() == 5.0
+    c.advance_to(5.0)  # idempotent
+    assert c.now() == 5.0
+
+
+def test_virtual_rejects_backwards():
+    c = VirtualClock()
+    c.advance_to(10.0)
+    with pytest.raises(ClockError):
+        c.advance_to(9.0)
+
+
+def test_virtual_tolerates_fp_jitter():
+    c = VirtualClock()
+    c.advance_to(1.0)
+    c.advance_to(1.0 - 1e-12)  # within tolerance
+    assert c.now() == 1.0
+
+
+def test_virtual_is_virtual():
+    assert VirtualClock().is_virtual
+    assert not WallClock().is_virtual
+
+
+def test_wall_clock_moves():
+    c = WallClock()
+    t0 = c.now()
+    time.sleep(0.01)
+    assert c.now() >= t0 + 5.0  # at least ~5ms passed
+
+
+def test_wall_clock_rebased_near_zero():
+    assert WallClock().now() < 1000.0

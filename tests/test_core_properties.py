@@ -1,0 +1,106 @@
+"""Property-based tests of core invariants under random event sequences.
+
+Hypothesis drives random interleavings of assignment / completion / update
+events through the coordinator and checks the STAT invariants the barrier
+policies rely on. A broken invariant here would silently corrupt every
+asynchronous experiment, so these get the adversarial treatment.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.backend import TaskMetrics
+from repro.core.coordinator import Coordinator
+from repro.core.stat import StatTable
+
+# Event alphabet: ("assign", worker), ("complete", index-into-inflight),
+# ("update",).
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("assign"), st.integers(0, 3)),
+        st.tuples(st.just("complete"), st.integers(0, 50)),
+        st.tuples(st.just("update"), st.just(0)),
+    ),
+    max_size=80,
+)
+
+
+def _metrics(task_id, worker):
+    return TaskMetrics(
+        task_id=task_id, worker_id=worker,
+        submitted_ms=float(task_id), delivered_ms=float(task_id) + 2.0,
+        compute_ms=1.0,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(seq=events, depth=st.integers(1, 3))
+def test_coordinator_invariants_hold(seq, depth):
+    stat = StatTable(4)
+    coord = Coordinator(stat, pipeline_depth=depth)
+    inflight: list[tuple[int, int, int]] = []  # (task_id, worker, version)
+    next_task = 0
+
+    for kind, arg in seq:
+        if kind == "assign":
+            coord.on_assigned(arg, coord.version)
+            inflight.append((next_task, arg, coord.version))
+            next_task += 1
+        elif kind == "complete" and inflight:
+            task_id, worker, version = inflight.pop(arg % len(inflight))
+            coord.on_result(
+                task_id, worker, "v", _metrics(task_id, worker), None,
+                version=version, batch_size=1,
+            )
+        elif kind == "update":
+            coord.model_updated()
+
+        # --- invariants ---
+        for w in stat:
+            assert w.in_flight >= 0
+            # Availability is exactly the pipeline rule for alive workers.
+            assert w.available == (w.alive and w.in_flight < depth)
+        # STAT in-flight bookkeeping matches ground truth.
+        truth = [0, 0, 0, 0]
+        for _, worker, _ in inflight:
+            truth[worker] += 1
+        assert [w.in_flight for w in stat] == truth
+        # Staleness is never negative and bounded by total updates.
+        assert 0 <= stat.max_staleness <= stat.current_version
+
+    # Drain everything; workers must all become available again.
+    while inflight:
+        task_id, worker, version = inflight.pop()
+        coord.on_result(
+            task_id, worker, "v", _metrics(task_id, worker), None,
+            version=version, batch_size=1,
+        )
+    assert stat.num_available == 4
+    # Every completed result is collectable exactly once, FIFO.
+    n = len(coord.results)
+    seen = set()
+    for _ in range(n):
+        rec = coord.pop_result()
+        assert rec.task_id not in seen
+        seen.add(rec.task_id)
+    assert coord.collected == n
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    versions=st.lists(st.integers(0, 20), min_size=1, max_size=20),
+    updates=st.integers(0, 30),
+)
+def test_staleness_always_consumption_time(versions, updates):
+    """Staleness of a popped record reflects the version gap at *pop*."""
+    stat = StatTable(1)
+    coord = Coordinator(stat)
+    coord.model_updated(max(versions))
+    base = coord.version
+    for i, v in enumerate(versions):
+        coord.on_assigned(0, base)
+        coord.on_result(i, 0, "x", _metrics(i, 0), None,
+                        version=base, batch_size=1)
+    coord.model_updated(updates)
+    for _ in versions:
+        rec = coord.pop_result()
+        assert rec.staleness == updates

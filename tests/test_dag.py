@@ -1,0 +1,55 @@
+"""Lineage graph introspection."""
+
+import networkx as nx
+
+from repro.engine.dag import ancestors, lineage_depth, lineage_graph, topological_order
+
+
+def test_linear_chain(ctx):
+    a = ctx.range(10, 2)
+    b = a.map(lambda x: x)
+    c = b.filter(lambda x: True)
+    g = lineage_graph(c)
+    assert g.number_of_nodes() == 3
+    assert list(nx.topological_sort(g)) == [a.rdd_id, b.rdd_id, c.rdd_id]
+    assert lineage_depth(c) == 2
+
+
+def test_union_is_dag_with_two_roots(ctx):
+    a = ctx.range(4, 1)
+    b = ctx.range(4, 1)
+    u = a.union(b)
+    g = lineage_graph(u)
+    assert g.number_of_nodes() == 3
+    assert set(g.predecessors(u.rdd_id)) == {a.rdd_id, b.rdd_id}
+    assert ancestors(u) == {a.rdd_id, b.rdd_id}
+
+
+def test_node_attributes(ctx):
+    a = ctx.range(4, 2).cache()
+    g = lineage_graph(a)
+    attrs = g.nodes[a.rdd_id]
+    assert attrs["cached"] is True
+    assert attrs["partitions"] == 2
+    assert "RDD" in attrs["kind"]
+
+
+def test_shared_ancestor_not_duplicated(ctx):
+    a = ctx.range(4, 1)
+    b = a.map(lambda x: x)
+    c = a.filter(lambda x: True)
+    u = b.union(c)
+    g = lineage_graph(u)
+    assert g.number_of_nodes() == 4  # a, b, c, u
+
+
+def test_topological_order_sources_first(ctx):
+    a = ctx.range(4, 1)
+    d = a.map(lambda x: x).map(lambda x: x).map(lambda x: x)
+    order = topological_order(d)
+    assert order[0] == a.rdd_id
+    assert order[-1] == d.rdd_id
+
+
+def test_depth_of_source_is_zero(ctx):
+    assert lineage_depth(ctx.range(4, 2)) == 0

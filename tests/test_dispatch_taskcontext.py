@@ -1,0 +1,107 @@
+"""Dispatcher routing and the task-local context channel."""
+
+import pytest
+
+from repro.cluster.simbackend import SimBackend
+from repro.engine.dispatch import Dispatcher
+from repro.engine.taskcontext import (
+    current_env,
+    record_cost,
+    record_fetch,
+    task_env,
+)
+
+
+@pytest.fixture
+def setup():
+    backend = SimBackend(2, seed=0)
+    return backend, Dispatcher(backend)
+
+
+def test_continuations_routed_per_task(setup):
+    backend, disp = setup
+    got = {}
+
+    def make_cont(tag):
+        def cont(task_id, worker_id, value, metrics, error):
+            got[tag] = (value, error)
+        return cont
+
+    disp.submit(lambda env: "a", 0, on_complete=make_cont("A"))
+    disp.submit(lambda env: "b", 1, on_complete=make_cont("B"))
+    backend.drain()
+    assert got == {"A": ("a", None), "B": ("b", None)}
+    assert disp.outstanding() == 0
+
+
+def test_job_ids_assigned_and_logged(setup):
+    backend, disp = setup
+    jid = disp.new_job_id()
+    disp.submit(lambda env: 1, 0, on_complete=lambda *a: None, job_id=jid)
+    disp.submit(lambda env: 2, 1, on_complete=lambda *a: None, job_id=jid)
+    disp.submit(lambda env: 3, 0, on_complete=lambda *a: None)  # fresh job
+    backend.drain()
+    jobs = [m.job_id for m in disp.metrics_log]
+    assert jobs.count(jid) == 2
+    assert len(set(jobs)) == 2
+
+
+def test_byte_totals_accumulate(setup):
+    backend, disp = setup
+    import numpy as np
+
+    disp.submit(lambda env: np.zeros(100), 0,
+                on_complete=lambda *a: None, in_bytes=512)
+    backend.drain()
+    assert disp.total_in_bytes >= 512
+    assert disp.total_out_bytes >= 800
+
+
+def test_errors_forwarded_to_continuation(setup):
+    backend, disp = setup
+    seen = []
+
+    def boom(env):
+        raise KeyError("nope")
+
+    disp.submit(boom, 0, on_complete=lambda *a: seen.append(a[4]))
+    backend.drain()
+    assert isinstance(seen[0], KeyError)
+
+
+# -- task context ---------------------------------------------------------------
+
+def test_current_env_outside_task_is_none():
+    assert current_env() is None
+    record_cost(5.0)   # no-op, must not raise
+    record_fetch(100)  # no-op, must not raise
+
+
+def test_task_env_binds_and_restores(setup):
+    backend, _ = setup
+    env = backend.worker_env(0)
+    with task_env(env):
+        assert current_env() is env
+        record_cost(3.0)
+        record_fetch(64)
+    assert current_env() is None
+    assert env.consume_cost_units() == 3.0
+    assert env.consume_fetch_bytes() == 64
+
+
+def test_task_env_nesting(setup):
+    backend, _ = setup
+    e0, e1 = backend.worker_env(0), backend.worker_env(1)
+    with task_env(e0):
+        with task_env(e1):
+            assert current_env() is e1
+        assert current_env() is e0
+
+
+def test_task_env_restored_on_exception(setup):
+    backend, _ = setup
+    env = backend.worker_env(0)
+    with pytest.raises(RuntimeError):
+        with task_env(env):
+            raise RuntimeError("boom")
+    assert current_env() is None

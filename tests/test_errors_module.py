@@ -1,0 +1,41 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy_roots():
+    for exc in (
+        errors.EngineError,
+        errors.BackendError,
+        errors.AsyncContextError,
+        errors.OptimError,
+        errors.DataError,
+    ):
+        assert issubclass(exc, errors.ReproError)
+    for exc in (errors.TaskError, errors.WorkerLostError,
+                errors.BroadcastError, errors.SchedulerError):
+        assert issubclass(exc, errors.EngineError)
+    assert issubclass(errors.ClockError, errors.BackendError)
+
+
+def test_task_error_context():
+    cause = ValueError("inner")
+    e = errors.TaskError("failed", task_id=7, worker_id=3, cause=cause)
+    assert e.task_id == 7
+    assert e.worker_id == 3
+    assert e.cause is cause
+    assert "failed" in str(e)
+
+
+def test_worker_lost_default_message():
+    e = errors.WorkerLostError(5)
+    assert e.worker_id == 5
+    assert "5" in str(e)
+    assert str(errors.WorkerLostError(1, "custom")) == "custom"
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.SchedulerError("x")

@@ -1,0 +1,121 @@
+"""Experiment harness: spec parsing, end-to-end cells, caching."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentSpec,
+    parse_barrier,
+    parse_delay,
+    run_experiment,
+)
+from repro.cluster.stragglers import ControlledDelay, NoDelay, ProductionCluster
+from repro.core.barriers import ASP, BSP, SSP, CompletionTimeBarrier, MinAvailableFraction
+from repro.errors import ReproError
+
+
+def test_parse_delay_tokens():
+    assert isinstance(parse_delay("none", 8, 0), NoDelay)
+    cds = parse_delay("cds:0.6", 8, 0)
+    assert isinstance(cds, ControlledDelay)
+    assert cds.intensity == 0.6
+    assert isinstance(parse_delay("cds:0", 8, 0), NoDelay)
+    pcs = parse_delay("pcs", 32, 1)
+    assert isinstance(pcs, ProductionCluster)
+    assert pcs.num_workers == 32
+    with pytest.raises(ReproError):
+        parse_delay("bogus", 8, 0)
+
+
+def test_parse_barrier_tokens():
+    assert isinstance(parse_barrier("asp"), ASP)
+    assert isinstance(parse_barrier("bsp"), BSP)
+    ssp = parse_barrier("ssp:5")
+    assert isinstance(ssp, SSP) and ssp.threshold == 5
+    frac = parse_barrier("frac:0.5")
+    assert isinstance(frac, MinAvailableFraction) and frac.beta == 0.5
+    ct = parse_barrier("ct:2.5")
+    assert isinstance(ct, CompletionTimeBarrier) and ct.ratio == 2.5
+    with pytest.raises(ReproError):
+        parse_barrier("nope")
+
+
+def test_spec_is_hashable_and_frozen():
+    spec = ExperimentSpec()
+    assert hash(spec) == hash(ExperimentSpec())
+    with pytest.raises(Exception):
+        spec.dataset = "other"  # type: ignore[misc]
+
+
+@pytest.mark.parametrize("algorithm,is_async", [
+    ("sgd", False), ("asgd", True), ("saga", False), ("asaga", True),
+    ("svrg", False), ("asvrg", True),
+])
+def test_every_algorithm_runs(algorithm, is_async):
+    spec = ExperimentSpec(
+        dataset="tiny_dense", algorithm=algorithm, num_workers=4,
+        num_partitions=8, max_updates=12, eval_every=4, seed=0,
+    )
+    assert spec.is_async() == is_async
+    res = run_experiment(spec)
+    assert res.updates == 12
+    assert res.final_error < res.initial_error
+    assert res.elapsed_ms > 0
+    assert len(res.error_series) >= 2
+
+
+def test_result_time_to_error():
+    spec = ExperimentSpec(
+        dataset="tiny_dense", algorithm="sgd", num_workers=4,
+        num_partitions=8, max_updates=30, eval_every=2, seed=0,
+    )
+    res = run_experiment(spec)
+    t = res.time_to_error(res.relative_target(0.5))
+    assert 0 < t <= res.elapsed_ms
+    assert math.isinf(res.time_to_error(1e-300))
+
+
+def test_straggler_slows_sync_run():
+    base = ExperimentSpec(
+        dataset="tiny_dense", algorithm="sgd", num_workers=4,
+        num_partitions=8, max_updates=20, seed=0,
+    )
+    slow = ExperimentSpec(
+        dataset="tiny_dense", algorithm="sgd", num_workers=4,
+        num_partitions=8, max_updates=20, seed=0, delay="cds:1.0",
+    )
+    assert run_experiment(slow).elapsed_ms > run_experiment(base).elapsed_ms
+
+
+def test_saga_naive_mode_tracked():
+    spec = ExperimentSpec(
+        dataset="tiny_dense", algorithm="saga", num_workers=4,
+        num_partitions=8, max_updates=10, seed=0, saga_mode="naive",
+    )
+    res = run_experiment(spec)
+    assert res.extras["naive_broadcast_bytes"] > 0
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ReproError):
+        run_experiment(ExperimentSpec(dataset="tiny_dense",
+                                      algorithm="quantum"))
+
+
+def test_figures_cache_reuses_runs():
+    from repro.bench import figures
+
+    figures.clear_cache()
+    before = figures._run_cached.cache_info().misses
+    kwargs = dict(
+        datasets=("tiny_dense",), delays=(0.0,), sync_updates=8,
+        async_updates=16, verbose=False,
+    )
+    figures.fig3_cds_sgd(**kwargs)
+    mid = figures._run_cached.cache_info().misses
+    figures.fig4_wait_sgd(**kwargs)  # same cells -> no new runs
+    after = figures._run_cached.cache_info().misses
+    assert mid > before
+    assert after == mid
+    figures.clear_cache()

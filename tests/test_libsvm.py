@@ -1,0 +1,103 @@
+"""LIBSVM format I/O: parsing, round-trips, validation."""
+
+import io
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.data.libsvm import dump_libsvm, load_libsvm, loads_libsvm
+from repro.errors import DataError
+
+SAMPLE = """\
+1 1:0.5 3:1.25
+-1 2:2.0
+1 1:-1.0 2:0.25 4:3.0
+"""
+
+
+def test_parse_basic():
+    X, y = loads_libsvm(SAMPLE)
+    assert X.shape == (3, 4)
+    assert np.array_equal(y, [1.0, -1.0, 1.0])
+    assert X[0, 0] == 0.5
+    assert X[0, 2] == 1.25
+    assert X[1, 1] == 2.0
+    assert X[2, 3] == 3.0
+
+
+def test_parse_respects_n_features():
+    X, _ = loads_libsvm(SAMPLE, n_features=10)
+    assert X.shape == (3, 10)
+
+
+def test_n_features_too_small_rejected():
+    with pytest.raises(DataError):
+        loads_libsvm(SAMPLE, n_features=2)
+
+
+def test_comments_and_blank_lines_skipped():
+    text = "# header\n\n1 1:1.0  # trailing\n\n"
+    X, y = loads_libsvm(text)
+    assert X.shape == (1, 1)
+    assert y[0] == 1.0
+
+
+def test_zero_based_indices():
+    X, _ = loads_libsvm("1 0:5.0\n", zero_based=True)
+    assert X[0, 0] == 5.0
+
+
+def test_bad_label_raises():
+    with pytest.raises(DataError):
+        loads_libsvm("abc 1:1\n")
+
+
+def test_bad_token_raises():
+    with pytest.raises(DataError):
+        loads_libsvm("1 nonsense\n")
+
+
+def test_nonincreasing_indices_raise():
+    with pytest.raises(DataError):
+        loads_libsvm("1 2:1.0 2:2.0\n")
+    with pytest.raises(DataError):
+        loads_libsvm("1 3:1.0 2:2.0\n")
+
+
+def test_empty_input_raises():
+    with pytest.raises(DataError):
+        loads_libsvm("")
+
+
+def test_roundtrip_sparse(tmp_path):
+    rng = np.random.default_rng(0)
+    X = sparse.random(20, 15, density=0.3, format="csr", random_state=1)
+    y = rng.integers(0, 2, 20) * 2.0 - 1.0
+    path = tmp_path / "data.svm"
+    dump_libsvm(X, y, path)
+    X2, y2 = load_libsvm(path, n_features=15)
+    assert np.array_equal(y, y2)
+    assert np.allclose(X.toarray(), X2.toarray())
+
+
+def test_roundtrip_dense_matrix(tmp_path):
+    X = np.array([[1.0, 0.0, 2.5], [0.0, 0.0, -1.0]])
+    y = np.array([1.0, -1.0])
+    buf = io.StringIO()
+    dump_libsvm(X, y, buf)
+    X2, y2 = loads_libsvm(buf.getvalue(), n_features=3)
+    assert np.allclose(X, X2.toarray())
+    assert np.array_equal(y, y2)
+
+
+def test_dump_validates_lengths(tmp_path):
+    with pytest.raises(DataError):
+        dump_libsvm(np.zeros((3, 2)), np.zeros(2), tmp_path / "x.svm")
+
+
+def test_float_labels_preserved():
+    buf = io.StringIO()
+    dump_libsvm(np.array([[1.0]]), np.array([2.5]), buf)
+    _, y = loads_libsvm(buf.getvalue())
+    assert y[0] == 2.5

@@ -1,0 +1,110 @@
+"""Pair-RDD operations (driver-mediated shuffle)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.context import ClusterContext
+from repro.errors import EngineError
+
+
+def test_key_by(ctx):
+    out = ctx.range(6, 2).key_by(lambda x: x % 2).collect()
+    assert sorted(out) == [(0, 0), (0, 2), (0, 4), (1, 1), (1, 3), (1, 5)]
+
+
+def test_map_values(ctx):
+    rdd = ctx.parallelize([("a", 1), ("b", 2)], 2)
+    assert sorted(rdd.map_values(lambda v: v * 10).collect()) == [
+        ("a", 10), ("b", 20),
+    ]
+
+
+def test_map_values_requires_pairs(ctx):
+    with pytest.raises(EngineError):
+        ctx.range(4, 2).map_values(lambda v: v).collect()
+
+
+def test_reduce_by_key_sums(ctx):
+    data = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+    out = dict(ctx.parallelize(data, 3).reduce_by_key(
+        lambda a, b: a + b).collect())
+    assert out == {"a": 4, "b": 7, "c": 4}
+
+
+def test_reduce_by_key_result_is_rdd(ctx):
+    data = [(i % 4, 1) for i in range(40)]
+    reduced = ctx.parallelize(data, 4).reduce_by_key(lambda a, b: a + b, 2)
+    assert reduced.num_partitions == 2
+    # Keys are co-located: each key appears in exactly one partition.
+    parts = ctx.run_job(reduced, lambda s, d: [k for k, _ in d])
+    seen = [k for part in parts for k in part]
+    assert len(seen) == len(set(seen)) == 4
+
+
+def test_group_by_key_preserves_all_values(ctx):
+    data = [("x", i) for i in range(10)] + [("y", -1)]
+    out = dict(ctx.parallelize(data, 4).group_by_key().collect())
+    assert sorted(out["x"]) == list(range(10))
+    assert out["y"] == [-1]
+
+
+def test_count_by_key(ctx):
+    data = [("a", 0)] * 3 + [("b", 0)] * 5
+    assert ctx.parallelize(data, 3).count_by_key() == {"a": 3, "b": 5}
+
+
+def test_join_inner(ctx):
+    left = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+    right = ctx.parallelize([("a", "x"), ("c", "y")], 2)
+    out = sorted(left.join(right).collect())
+    assert out == [("a", (1, "x")), ("a", (3, "x"))]
+
+
+def test_distinct(ctx):
+    out = ctx.parallelize([3, 1, 2, 3, 1, 1], 3).distinct().collect()
+    assert sorted(out) == [1, 2, 3]
+
+
+def test_chain_after_shuffle(ctx):
+    """Shuffled RDDs are real RDDs: further transformations compose."""
+    data = [(i % 3, i) for i in range(30)]
+    out = (
+        ctx.parallelize(data, 5)
+        .reduce_by_key(lambda a, b: a + b)
+        .map_values(lambda v: v * 2)
+        .filter(lambda kv: kv[0] != 1)
+        .collect()
+    )
+    expected = {k: 2 * sum(i for i in range(30) if i % 3 == k)
+                for k in (0, 2)}
+    assert dict(out) == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.lists(st.integers(0, 8), min_size=1, max_size=60),
+    parts=st.integers(1, 6),
+)
+def test_property_reduce_by_key_matches_counter(keys, parts):
+    with ClusterContext(num_workers=3, seed=0) as ctx:
+        data = [(k, 1) for k in keys]
+        out = dict(ctx.parallelize(data, parts)
+                   .reduce_by_key(lambda a, b: a + b).collect())
+        assert out == dict(Counter(keys))
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    xs=st.lists(st.integers(-20, 20), min_size=0, max_size=50),
+    parts=st.integers(1, 6),
+)
+def test_property_distinct_matches_set(xs, parts):
+    if not xs:
+        return
+    with ClusterContext(num_workers=3, seed=0) as ctx:
+        out = ctx.parallelize(xs, parts).distinct().collect()
+        assert sorted(out) == sorted(set(xs))

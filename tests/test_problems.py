@@ -1,0 +1,152 @@
+"""Objectives: gradient correctness (finite differences), exact optima."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.data.synthetic import make_classification, make_dense_regression
+from repro.errors import OptimError
+from repro.optim.problems import (
+    LeastSquaresProblem,
+    LogisticRegressionProblem,
+    RidgeProblem,
+)
+
+
+def fd_gradient(f, w, eps=1e-6):
+    g = np.zeros_like(w)
+    for i in range(len(w)):
+        e = np.zeros_like(w)
+        e[i] = eps
+        g[i] = (f(w + e) - f(w - e)) / (2 * eps)
+    return g
+
+
+@pytest.fixture
+def ls_problem():
+    X, y, _ = make_dense_regression(128, 6, cond=3.0, seed=1)
+    return LeastSquaresProblem(X, y)
+
+
+def test_ls_gradient_matches_finite_diff(ls_problem, rng):
+    w = rng.standard_normal(ls_problem.dim)
+    g = ls_problem.full_gradient(w)
+    g_fd = fd_gradient(ls_problem.objective, w)
+    assert np.allclose(g, g_fd, atol=1e-4)
+
+
+def test_ls_grad_sum_additive_over_blocks(ls_problem, rng):
+    w = rng.standard_normal(ls_problem.dim)
+    X, y = ls_problem.X, ls_problem.y
+    whole = ls_problem.grad_sum(X, y, w)
+    parts = ls_problem.grad_sum(X[:50], y[:50], w) + ls_problem.grad_sum(
+        X[50:], y[50:], w
+    )
+    assert np.allclose(whole, parts)
+
+
+def test_ls_optimum_is_stationary(ls_problem):
+    g = ls_problem.full_gradient(ls_problem.w_star)
+    assert np.linalg.norm(g) < 1e-8
+    assert ls_problem.f_star <= ls_problem.objective(
+        ls_problem.initial_point()
+    )
+
+
+def test_ls_error_nonnegative_and_zero_at_optimum(ls_problem, rng):
+    assert ls_problem.error(ls_problem.w_star) == 0.0
+    w = rng.standard_normal(ls_problem.dim)
+    assert ls_problem.error(w) >= 0.0
+
+
+def test_ls_sparse_matches_dense(rng):
+    Xd = rng.standard_normal((60, 8))
+    Xd[Xd < 0.5] = 0.0
+    y = rng.standard_normal(60)
+    w = rng.standard_normal(8)
+    dense = LeastSquaresProblem(Xd, y)
+    sp = LeastSquaresProblem(sparse.csr_matrix(Xd), y)
+    assert np.allclose(
+        dense.grad_sum(dense.X, y, w), sp.grad_sum(sp.X, y, w)
+    )
+    assert np.isclose(dense.objective(w), sp.objective(w))
+    assert np.allclose(dense.w_star, sp.w_star, atol=1e-8)
+
+
+def test_ridge_requires_positive_lam(rng):
+    X, y = rng.standard_normal((10, 2)), rng.standard_normal(10)
+    with pytest.raises(OptimError):
+        RidgeProblem(X, y, lam=0.0)
+
+
+def test_ridge_gradient_includes_regularizer(rng):
+    X, y, _ = make_dense_regression(64, 4, seed=2)
+    p = RidgeProblem(X, y, lam=0.5)
+    w = rng.standard_normal(4)
+    g_fd = fd_gradient(p.objective, w)
+    assert np.allclose(p.full_gradient(w), g_fd, atol=1e-4)
+
+
+def test_ridge_optimum_stationary():
+    X, y, _ = make_dense_regression(64, 4, seed=2)
+    p = RidgeProblem(X, y, lam=0.1)
+    assert np.linalg.norm(p.full_gradient(p.w_star)) < 1e-8
+
+
+def test_ridge_shrinks_solution():
+    X, y, _ = make_dense_regression(64, 4, seed=2)
+    plain = LeastSquaresProblem(X, y)
+    ridge = RidgeProblem(X, y, lam=10.0)
+    assert np.linalg.norm(ridge.w_star) < np.linalg.norm(plain.w_star)
+
+
+def test_logistic_gradient_matches_finite_diff(rng):
+    X, y, _ = make_classification(100, 5, seed=3)
+    p = LogisticRegressionProblem(X, y, lam=0.01)
+    w = rng.standard_normal(5) * 0.5
+    g_fd = fd_gradient(p.objective, w)
+    assert np.allclose(p.full_gradient(w), g_fd, atol=1e-5)
+
+
+def test_logistic_labels_validated(rng):
+    X = rng.standard_normal((10, 2))
+    with pytest.raises(OptimError):
+        LogisticRegressionProblem(X, np.zeros(10))
+
+
+def test_logistic_optimum_beats_zero():
+    X, y, _ = make_classification(400, 6, seed=4)
+    p = LogisticRegressionProblem(X, y, lam=0.01)
+    assert p.f_star < p.objective(p.initial_point())
+    assert np.linalg.norm(p.full_gradient(p.w_star)) < 1e-5
+
+
+def test_logistic_loss_stable_for_large_margins():
+    X = np.array([[1000.0], [-1000.0]])
+    y = np.array([1.0, -1.0])
+    p = LogisticRegressionProblem(X, y)
+    val = p.objective(np.array([1.0]))
+    assert np.isfinite(val)
+    g = p.full_gradient(np.array([1.0]))
+    assert np.all(np.isfinite(g))
+
+
+def test_dim_mismatch_rejected(rng):
+    with pytest.raises(OptimError):
+        LeastSquaresProblem(rng.standard_normal((5, 2)), np.zeros(4))
+
+
+def test_negative_lam_rejected(rng):
+    with pytest.raises(OptimError):
+        LeastSquaresProblem(
+            rng.standard_normal((5, 2)), np.zeros(5), lam=-1.0
+        )
+
+
+def test_reg_grad_scales_with_count(rng):
+    X, y, _ = make_dense_regression(32, 4, seed=0)
+    p = LeastSquaresProblem(X, y, lam=0.1)
+    w = rng.standard_normal(4)
+    assert np.allclose(p.reg_grad(w, 10), 10 * 0.1 * w)
+    p0 = LeastSquaresProblem(X, y)
+    assert np.allclose(p0.reg_grad(w, 10), 0.0)

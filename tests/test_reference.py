@@ -1,0 +1,90 @@
+"""Reference (MLlib-style) implementations."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_classification, make_dense_regression
+from repro.errors import OptimError
+from repro.optim.problems import (
+    LeastSquaresProblem,
+    LogisticRegressionProblem,
+)
+from repro.optim.reference import reference_saga, reference_sgd
+
+
+@pytest.fixture
+def problem():
+    X, y, _ = make_dense_regression(256, 8, cond=4.0, seed=7)
+    return LeastSquaresProblem(X, y)
+
+
+def test_sgd_converges(problem):
+    w, hist = reference_sgd(
+        problem, alpha0=0.5, batch_fraction=0.25, iterations=100, seed=0,
+    )
+    assert hist[-1][1] < 0.1 * hist[0][1]
+    assert w.shape == (problem.dim,)
+
+
+def test_sgd_history_structure(problem):
+    _, hist = reference_sgd(
+        problem, alpha0=0.5, batch_fraction=0.25, iterations=10, seed=0,
+        record_every=2,
+    )
+    iters = [t for t, _ in hist]
+    assert iters == [0, 2, 4, 6, 8, 10]
+
+
+def test_sgd_deterministic(problem):
+    w1, _ = reference_sgd(problem, alpha0=0.5, batch_fraction=0.25,
+                          iterations=20, seed=3)
+    w2, _ = reference_sgd(problem, alpha0=0.5, batch_fraction=0.25,
+                          iterations=20, seed=3)
+    assert np.array_equal(w1, w2)
+
+
+def test_sgd_validates(problem):
+    with pytest.raises(OptimError):
+        reference_sgd(problem, alpha0=0.5, batch_fraction=0.0, iterations=5)
+    with pytest.raises(OptimError):
+        reference_sgd(problem, alpha0=0.5, batch_fraction=0.5, iterations=0)
+
+
+def test_saga_converges_below_sgd(problem):
+    _, sgd_hist = reference_sgd(
+        problem, alpha0=0.5, batch_fraction=0.1, iterations=200, seed=0,
+    )
+    _, saga_hist = reference_saga(
+        problem, alpha=0.05, batch_fraction=0.1, iterations=200, seed=0,
+    )
+    assert saga_hist[-1][1] < sgd_hist[-1][1] * 5  # comparable or better
+    assert saga_hist[-1][1] < 0.05 * saga_hist[0][1]
+
+
+def test_saga_near_linear_convergence(problem):
+    _, hist = reference_saga(
+        problem, alpha=0.02, batch_fraction=0.2, iterations=300, seed=0,
+        record_every=100,
+    )
+    e0, e1, e2 = hist[1][1], hist[2][1], hist[3][1]
+    # Error keeps shrinking by a healthy factor every 100 iterations.
+    assert e1 < 0.6 * e0
+    assert e2 < 0.6 * e1
+
+
+def test_saga_on_logistic():
+    X, y, _ = make_classification(300, 6, seed=5)
+    p = LogisticRegressionProblem(X, y, lam=0.01)
+    _, hist = reference_saga(
+        p, alpha=0.5, batch_fraction=0.2, iterations=150, seed=0,
+    )
+    assert hist[-1][1] < 0.2 * hist[0][1]
+
+
+def test_sgd_on_logistic():
+    X, y, _ = make_classification(300, 6, seed=5)
+    p = LogisticRegressionProblem(X, y, lam=0.01)
+    _, hist = reference_sgd(
+        p, alpha0=1.0, batch_fraction=0.2, iterations=150, seed=0,
+    )
+    assert hist[-1][1] < 0.3 * hist[0][1]

@@ -1,0 +1,104 @@
+"""STAT table invariants and aggregates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.stat import StatTable
+
+
+def test_initial_state_all_available():
+    stat = StatTable(4)
+    assert stat.num_available == 4
+    assert stat.num_alive == 4
+    assert stat.max_staleness == 0
+    assert stat.available_workers() == [0, 1, 2, 3]
+    assert stat.busy_workers() == []
+
+
+def test_requires_positive_workers():
+    with pytest.raises(ValueError):
+        StatTable(0)
+
+
+def test_busy_worker_not_available():
+    stat = StatTable(3)
+    stat[1].available = False
+    stat[1].computing_version = 0
+    assert stat.num_available == 2
+    assert stat.busy_workers() == [1]
+
+
+def test_dead_worker_excluded_everywhere():
+    stat = StatTable(3)
+    stat[2].alive = False
+    stat[2].available = False
+    assert stat.num_alive == 2
+    assert stat.num_available == 2
+    assert 2 not in stat.available_workers()
+
+
+def test_max_staleness_counts_inflight_only():
+    stat = StatTable(3)
+    stat.current_version = 10
+    stat[0].available = False
+    stat[0].computing_version = 4   # 6 stale
+    stat[1].available = False
+    stat[1].computing_version = 9   # 1 stale
+    assert stat.max_staleness == 6
+    assert stat.staleness_of(0) == 6
+    assert stat.staleness_of(1) == 1
+    assert stat.staleness_of(2) == 0  # idle
+
+
+def test_idle_worker_staleness_zero_even_with_history():
+    stat = StatTable(2)
+    stat.current_version = 5
+    stat[0].last_staleness = 3
+    assert stat.staleness_of(0) == 0
+    assert stat.max_staleness == 0
+
+
+def test_completion_time_stats():
+    stat = StatTable(2)
+    stat[0].completion.add(10.0)
+    stat[0].tasks_completed = 1
+    stat[1].completion.add(30.0)
+    stat[1].tasks_completed = 1
+    assert stat.mean_completion_ms() == 20.0
+    assert stat.median_completion_ms() == 20.0
+
+
+def test_completion_stats_ignore_fresh_workers():
+    stat = StatTable(3)
+    stat[0].completion.add(10.0)
+    stat[0].tasks_completed = 1
+    assert stat.mean_completion_ms() == 10.0
+
+
+def test_snapshot_is_plain_data():
+    stat = StatTable(2)
+    snap = stat.snapshot()
+    assert len(snap) == 2
+    assert snap[0]["worker_id"] == 0
+    assert snap[0]["available"] is True
+    assert "avg_completion_ms" in snap[0]
+
+
+@given(
+    versions=st.lists(
+        st.one_of(st.none(), st.integers(0, 100)), min_size=1, max_size=16
+    ),
+    current=st.integers(0, 120),
+)
+def test_property_max_staleness_bound(versions, current):
+    stat = StatTable(len(versions))
+    stat.current_version = current
+    for w, v in enumerate(versions):
+        if v is not None and v <= current:
+            stat[w].available = False
+            stat[w].computing_version = v
+    expected = max(
+        (current - v for v in versions if v is not None and v <= current),
+        default=0,
+    )
+    assert stat.max_staleness == expected

@@ -1,0 +1,97 @@
+"""Straggler delay models: CDS and the production-cluster mix."""
+
+import pytest
+
+from repro.cluster.stragglers import (
+    ControlledDelay,
+    NoDelay,
+    ProductionCluster,
+    delays_from_mapping,
+)
+
+
+def test_no_delay_is_unit():
+    m = NoDelay()
+    assert m.factor(0, 0) == 1.0
+    assert m.factor(31, 999) == 1.0
+
+
+def test_controlled_delay_targets_only_listed_workers():
+    m = ControlledDelay(intensity=1.0, workers=(2, 5))
+    assert m.factor(2, 0) == 2.0
+    assert m.factor(5, 7) == 2.0
+    assert m.factor(0, 0) == 1.0
+
+
+def test_controlled_delay_paper_convention():
+    # "a 100% delay means the worker is executing jobs at half speed"
+    assert ControlledDelay(1.0, workers=(0,)).factor(0, 1) == 2.0
+    assert ControlledDelay(0.3, workers=(0,)).factor(0, 1) == pytest.approx(1.3)
+    assert ControlledDelay(0.0, workers=(0,)).factor(0, 1) == 1.0
+
+
+def test_controlled_delay_rejects_negative():
+    with pytest.raises(ValueError):
+        ControlledDelay(intensity=-0.5)
+
+
+def test_pcs_straggler_counts_match_paper():
+    # 32 workers -> 8 stragglers: 6 uniform + 2 long-tail.
+    m = ProductionCluster(num_workers=32, seed=0)
+    assert len(m.uniform_workers) == 6
+    assert len(m.long_tail_workers) == 2
+    assert not (m.uniform_workers & m.long_tail_workers)
+
+
+def test_pcs_factors_within_bands():
+    m = ProductionCluster(num_workers=32, seed=1)
+    for w in range(32):
+        for t in range(20):
+            f = m.factor(w, t)
+            if w in m.long_tail_workers:
+                assert 2.5 <= f <= 10.0
+            elif w in m.uniform_workers:
+                assert 1.5 <= f <= 2.5
+            else:
+                assert f == 1.0
+
+
+def test_pcs_seeded_assignment_is_stable():
+    a = ProductionCluster(num_workers=32, seed=3)
+    b = ProductionCluster(num_workers=32, seed=3)
+    assert a.uniform_workers == b.uniform_workers
+    assert a.long_tail_workers == b.long_tail_workers
+    assert a.factor(5, 7) == b.factor(5, 7)
+
+
+def test_pcs_different_seed_changes_assignment():
+    seeds = [ProductionCluster(num_workers=32, seed=s).uniform_workers
+             for s in range(6)]
+    assert len({tuple(sorted(s)) for s in seeds}) > 1
+
+
+def test_pcs_per_task_randomness():
+    m = ProductionCluster(num_workers=32, seed=0)
+    w = next(iter(m.uniform_workers))
+    factors = {m.factor(w, t) for t in range(50)}
+    assert len(factors) > 10  # re-sampled per task
+
+
+def test_pcs_validates_params():
+    with pytest.raises(ValueError):
+        ProductionCluster(num_workers=0)
+    with pytest.raises(ValueError):
+        ProductionCluster(straggler_fraction=1.5)
+    with pytest.raises(ValueError):
+        ProductionCluster(long_tail_fraction=-0.1)
+
+
+def test_mapping_delay():
+    m = delays_from_mapping({0: 3.0})
+    assert m.factor(0, 0) == 3.0
+    assert m.factor(1, 0) == 1.0
+
+
+def test_describe_strings():
+    assert "CDS" in ControlledDelay(0.6).describe()
+    assert "PCS" in ProductionCluster(num_workers=8, seed=0).describe()

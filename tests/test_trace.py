@@ -1,0 +1,83 @@
+"""Convergence traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimError
+from repro.optim.trace import ConvergenceTrace
+
+
+def test_record_and_lengths():
+    tr = ConvergenceTrace()
+    tr.record(0.0, 0, np.zeros(3))
+    tr.record(5.0, 2, np.ones(3))
+    assert len(tr) == 2
+    assert tr.elapsed_ms == 5.0
+    assert np.array_equal(tr.final_w, np.ones(3))
+
+
+def test_snapshots_are_copies():
+    tr = ConvergenceTrace()
+    w = np.zeros(2)
+    tr.record(0.0, 0, w)
+    w[0] = 99.0
+    assert tr.snapshots[0][0] == 0.0
+
+
+def test_time_must_be_monotone():
+    tr = ConvergenceTrace()
+    tr.record(10.0, 0, np.zeros(1))
+    with pytest.raises(OptimError):
+        tr.record(5.0, 1, np.zeros(1))
+
+
+def test_empty_trace_guards():
+    tr = ConvergenceTrace()
+    assert tr.elapsed_ms == 0.0
+    with pytest.raises(OptimError):
+        _ = tr.final_w
+
+
+def test_errors_and_time_to_error(small_problem):
+    tr = ConvergenceTrace()
+    w0 = small_problem.initial_point()
+    tr.record(0.0, 0, w0)
+    tr.record(10.0, 1, small_problem.w_star * 0.5 + w0 * 0.5)
+    tr.record(20.0, 2, small_problem.w_star)
+    errs = tr.errors(small_problem)
+    assert errs[0] > errs[1] > errs[2]
+    assert errs[2] == pytest.approx(0.0, abs=1e-10)
+    mid = errs[1]
+    assert tr.time_to_error(small_problem, mid * 1.01) == 10.0
+    assert tr.time_to_error(small_problem, errs[0] * 2) == 0.0
+
+    never = ConvergenceTrace()
+    never.record(0.0, 0, w0)
+    assert math.isinf(never.time_to_error(small_problem, 1e-300))
+
+
+def test_time_to_error_validates_target(small_problem):
+    tr = ConvergenceTrace()
+    with pytest.raises(OptimError):
+        tr.time_to_error(small_problem, 0.0)
+
+
+def test_error_series_pairs(small_problem):
+    tr = ConvergenceTrace()
+    tr.record(0.0, 0, small_problem.initial_point())
+    tr.record(3.0, 1, small_problem.w_star)
+    series = tr.error_series(small_problem)
+    assert len(series) == 2
+    assert series[0][0] == 0.0 and series[1][0] == 3.0
+    assert series[1][1] <= series[0][1]
+
+
+def test_best_error(small_problem):
+    tr = ConvergenceTrace()
+    tr.record(0.0, 0, small_problem.initial_point())
+    tr.record(1.0, 1, small_problem.w_star)
+    tr.record(2.0, 2, small_problem.initial_point())  # regressed
+    assert tr.best_error(small_problem) == pytest.approx(0.0, abs=1e-10)
+    assert tr.final_error(small_problem) > 0

@@ -1,0 +1,58 @@
+"""Payload size estimation."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.utils.sizeof import sizeof_bytes
+
+
+def test_ndarray_dominated_by_nbytes():
+    a = np.zeros(1000, dtype=np.float64)
+    assert sizeof_bytes(a) >= a.nbytes
+    assert sizeof_bytes(a) <= a.nbytes + 256
+
+
+def test_scales_with_array_size():
+    small = sizeof_bytes(np.zeros(10))
+    big = sizeof_bytes(np.zeros(10_000))
+    assert big > small * 10
+
+
+def test_csr_counts_data_indices_indptr():
+    X = sparse.random(100, 50, density=0.1, format="csr", random_state=0)
+    expected = X.data.nbytes + X.indices.nbytes + X.indptr.nbytes
+    assert sizeof_bytes(X) >= expected
+
+
+def test_dict_sums_keys_and_values():
+    d = {i: np.zeros(100) for i in range(5)}
+    assert sizeof_bytes(d) >= 5 * 800
+
+
+def test_list_sums_elements():
+    xs = [np.zeros(64), np.zeros(64)]
+    assert sizeof_bytes(xs) >= 2 * 64 * 8
+
+
+def test_scalars_and_none_are_small():
+    for obj in (None, True, 1, 3.14, 1 + 2j):
+        assert sizeof_bytes(obj) < 1024
+
+
+def test_string_charges_length():
+    assert sizeof_bytes("x" * 10_000) >= 10_000
+
+
+def test_object_with_dict_charges_fields():
+    class Payload:
+        def __init__(self):
+            self.a = np.zeros(128)
+            self.b = "hello"
+
+    assert sizeof_bytes(Payload()) >= 128 * 8
+
+
+@pytest.mark.parametrize("shape", [(10, 10), (1, 1000), (100,)])
+def test_all_shapes_positive(shape):
+    assert sizeof_bytes(np.ones(shape)) > 0

@@ -1,0 +1,112 @@
+"""Online statistics: means, variances, merges, EMA."""
+
+import math
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import (
+    ExponentialMovingAverage,
+    OnlineMean,
+    OnlineMeanVar,
+    Welford,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def test_online_mean_empty_is_zero():
+    assert OnlineMean().value == 0.0
+
+
+def test_online_mean_matches_numpy():
+    xs = [1.0, 2.0, 3.5, -4.0, 10.0]
+    m = OnlineMean()
+    for x in xs:
+        m.add(x)
+    assert math.isclose(m.value, np.mean(xs))
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50))
+def test_online_mean_property(xs):
+    m = OnlineMean()
+    for x in xs:
+        m.add(x)
+    assert math.isclose(m.value, float(np.mean(xs)), rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(
+    st.lists(finite_floats, min_size=1, max_size=30),
+    st.lists(finite_floats, min_size=1, max_size=30),
+)
+def test_online_mean_merge_equals_concat(xs, ys):
+    a, b = OnlineMean(), OnlineMean()
+    for x in xs:
+        a.add(x)
+    for y in ys:
+        b.add(y)
+    a.merge(b)
+    assert math.isclose(
+        a.value, float(np.mean(xs + ys)), rel_tol=1e-9, abs_tol=1e-6
+    )
+
+
+def test_meanvar_variance_matches_numpy():
+    xs = [1.0, 1.0, 2.0, 3.0, 5.0, 8.0]
+    mv = OnlineMeanVar()
+    for x in xs:
+        mv.add(x)
+    assert math.isclose(mv.variance, np.var(xs), rel_tol=1e-12)
+    assert math.isclose(mv.std, np.std(xs), rel_tol=1e-12)
+
+
+def test_meanvar_single_sample_zero_variance():
+    mv = OnlineMeanVar()
+    mv.add(5.0)
+    assert mv.variance == 0.0
+
+
+@given(
+    st.lists(finite_floats, min_size=2, max_size=30),
+    st.lists(finite_floats, min_size=2, max_size=30),
+)
+def test_meanvar_merge_equals_concat(xs, ys):
+    a, b = OnlineMeanVar(), OnlineMeanVar()
+    for x in xs:
+        a.add(x)
+    for y in ys:
+        b.add(y)
+    a.merge(b)
+    both = xs + ys
+    assert math.isclose(a.mean, float(np.mean(both)), rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(
+        a.variance, float(np.var(both)), rel_tol=1e-6, abs_tol=1e-6
+    )
+
+
+def test_welford_alias():
+    assert Welford is OnlineMeanVar
+
+
+def test_ema_initializes_to_first_value():
+    ema = ExponentialMovingAverage(alpha=0.5)
+    ema.add(10.0)
+    assert ema.value == 10.0
+
+
+def test_ema_moves_toward_new_values():
+    ema = ExponentialMovingAverage(alpha=0.5)
+    ema.add(0.0)
+    ema.add(10.0)
+    assert ema.value == 5.0
+
+
+def test_ema_rejects_bad_alpha():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ExponentialMovingAverage(alpha=0.0)
+    with pytest.raises(ValueError):
+        ExponentialMovingAverage(alpha=1.5)

@@ -1,0 +1,40 @@
+"""ASCII table formatting."""
+
+import pytest
+
+from repro.utils.tables import format_float, format_table
+
+
+def test_basic_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "33" in lines[3]
+    # Column separator is aligned across lines.
+    assert lines[0].index("|") == lines[2].index("|")
+
+
+def test_title_prepended():
+    out = format_table(["x"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_float_formatting_compact():
+    assert format_float(0.0) == "0"
+    assert format_float(1.23456789) == "1.235"
+    assert "e" in format_float(1.5e-9) or "E" in format_float(1.5e-9)
+
+
+def test_non_float_passthrough():
+    assert format_float("abc") == "abc"
+    assert format_float(17) == "17"
+
+
+def test_empty_rows_ok():
+    out = format_table(["a"], [])
+    assert "a" in out

@@ -1,74 +1,71 @@
 """Barrier control strategies (Section 5.3, Listing 2) — including a
-user-defined one.
+user-defined one, driven through the declarative experiment API.
 
 Implements the paper's three classic barriers (ASP, BSP, SSP), the
 beta-fraction rule from Algorithm 2, a completion-time barrier in the
 spirit of [69], and a fully custom predicate written exactly the way the
-paper's API intends (a function of the STAT table). All run ASGD under a
+paper's API intends (a function of the STAT table). The custom policy is
+*registered* under a name, after which the whole comparison is one
+GridSpec sweep — barriers are data, not wiring. All run ASGD under a
 100%-delay straggler; the table shows the asynchrony/staleness trade-off.
 
 Run:  python examples/custom_barriers.py
 """
 
-from repro import (
-    ASP,
-    BSP,
-    SSP,
-    AsyncSGD,
-    ClusterContext,
-    CompletionTimeBarrier,
-    InvSqrtDecay,
-    LeastSquaresProblem,
-    MinAvailableFraction,
-    OptimizerConfig,
-)
-from repro.cluster import ControlledDelay
+from repro import GridSpec
+from repro.api import register_barrier, run_grid
 from repro.core.barriers import LambdaBarrier
-from repro.data import make_dense_regression
-from repro.metrics import average_wait_ms
 from repro.utils.tables import format_table
+
 
 # A custom barrier as a plain predicate over STAT (the paper's raw form):
 # dispatch only while nobody's in-flight work is more than 4 updates
-# stale AND at least two workers are free.
-custom = LambdaBarrier(
-    lambda stat: stat.max_staleness <= 4 and stat.num_available >= 2,
-    name="custom(staleness<=4 & free>=2)",
-)
+# stale AND at least two workers are free. Registering it makes it
+# addressable from specs (and from `python -m repro run` JSON files).
+@register_barrier("staleness4_free2")
+def _custom_barrier():
+    return LambdaBarrier(
+        lambda stat: stat.max_staleness <= 4 and stat.num_available >= 2,
+        name="custom(staleness<=4 & free>=2)",
+    )
 
-BARRIERS = [
-    ("ASP", ASP()),
-    ("SSP(s=8)", SSP(8)),
-    ("frac(beta=0.5)", MinAvailableFraction(0.5)),
-    ("completion-time", CompletionTimeBarrier(ratio=1.5)),
-    ("custom", custom),
-    ("BSP", BSP()),
-]
+
+SWEEP = GridSpec.coerce({
+    "base": {
+        "algorithm": "asgd",
+        "dataset": "mnist8m_like",
+        "num_workers": 8,
+        "num_partitions": 32,
+        "delay": "cds:1.0",
+        "alpha0": 0.5,
+        "batch_fraction": 0.1,
+        "max_updates": 320,
+        "eval_every": 32,
+        "seed": 0,
+    },
+    "grid": {
+        "barrier": [
+            "asp",
+            "ssp:8",
+            "frac:0.5",
+            "ct:1.5",
+            "staleness4_free2",
+            "bsp",
+        ],
+    },
+})
 
 
 def main():
-    X, y, _ = make_dense_regression(8192, 48, seed=0)
-    problem = LeastSquaresProblem(X, y)
     rows = []
-    for name, barrier in BARRIERS:
-        with ClusterContext(
-            8, seed=0, delay_model=ControlledDelay(1.0, workers=(0,))
-        ) as sc:
-            points = sc.matrix(X, y, 32).cache()
-            res = AsyncSGD(
-                sc, points, problem,
-                InvSqrtDecay(0.5).scaled_for_async(8),
-                OptimizerConfig(batch_fraction=0.1, max_updates=320,
-                                seed=0, eval_every=32),
-                barrier=barrier,
-            ).run()
-            rows.append([
-                name,
-                res.elapsed_ms,
-                problem.error(res.w),
-                res.extras["max_staleness_seen"],
-                average_wait_ms(res.metrics),
-            ])
+    for summary in run_grid(SWEEP):
+        rows.append([
+            summary["spec"]["barrier"],
+            summary["elapsed_ms"],
+            summary["final_error"],
+            summary["extras"]["max_staleness_seen"],
+            summary["avg_wait_ms"],
+        ])
     print(format_table(
         ["barrier", "time (ms)", "final err", "max staleness", "wait (ms)"],
         rows,

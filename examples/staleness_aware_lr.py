@@ -64,15 +64,22 @@ def manual_staleness_aware_loop():
         return problem.error(w), max_staleness, sc.now()
 
 
-def builtin_schedule_run(adaptive: bool):
-    from repro.bench.harness import ExperimentSpec, run_experiment
+def builtin_schedule_runs():
+    """The same workload as a declarative sweep: plain 1/P vs Listing 1."""
+    from repro.api import run_grid
 
-    res = run_experiment(ExperimentSpec(
-        dataset="mnist8m_like", algorithm="asgd", delay="pcs",
-        num_workers=P, num_partitions=32, max_updates=UPDATES,
-        batch_fraction=0.01, seed=0, staleness_adaptive=adaptive,
-    ))
-    return res.final_error, res.extras.get("max_staleness_seen", 0)
+    summaries = run_grid({
+        "base": {
+            "dataset": "mnist8m_like", "algorithm": "asgd", "delay": "pcs",
+            "num_workers": P, "num_partitions": 32, "max_updates": UPDATES,
+            "batch_fraction": 0.01, "seed": 0,
+        },
+        "grid": {"staleness_adaptive": [False, True]},
+    })
+    return [
+        (s["final_error"], s["extras"].get("max_staleness_seen", 0))
+        for s in summaries
+    ]
 
 
 def main():
@@ -81,8 +88,7 @@ def main():
     print(f"  final error {err:.4g}, max staleness seen {tau_max}, "
           f"cluster time {elapsed:.0f} ms")
 
-    plain_err, plain_tau = builtin_schedule_run(adaptive=False)
-    adap_err, adap_tau = builtin_schedule_run(adaptive=True)
+    (plain_err, plain_tau), (adap_err, adap_tau) = builtin_schedule_runs()
     print("\nBuilt-in schedules on the same workload:")
     print(f"  plain 1/P heuristic      : err={plain_err:.4g} "
           f"(max staleness {plain_tau})")

@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "ASYNC: a cloud engine with asynchrony and history for distributed "
         "machine learning (IPDPS 2020) - full Python reproduction"

@@ -5,12 +5,28 @@ three capabilities asynchronous optimization needs: worker bookkeeping
 (STAT), barrier-controlled asynchronous scheduling, and history-aware
 broadcast for variance-reduced methods.
 
-Quickstart::
+Experiments are data first: a JSON-serializable spec resolved through
+string-keyed component registries (see :mod:`repro.api`), runnable from
+Python or the ``python -m repro`` CLI::
 
-    import numpy as np
+    from repro import run_experiment
+
+    result = run_experiment({
+        "algorithm": "asgd",           # any registered optimizer
+        "dataset": "mnist8m_like",
+        "num_workers": 8,
+        "delay": "cds:1.0",            # one worker at half speed
+        "barrier": "ssp:4",            # stale-synchronous, s=4
+        "max_updates": 200,
+    })
+    print(result.updates, result.extras["max_staleness_seen"])
+
+The object API underneath remains fully available — the same run,
+hand-wired::
+
     from repro import (
-        ClusterContext, ASYNCContext, AsyncSGD, LeastSquaresProblem,
-        OptimizerConfig, InvSqrtDecay,
+        ClusterContext, AsyncSGD, LeastSquaresProblem,
+        OptimizerConfig, InvSqrtDecay, SSP,
     )
     from repro.cluster import ControlledDelay
     from repro.data import make_dense_regression
@@ -24,10 +40,18 @@ Quickstart::
             sc, points, problem,
             InvSqrtDecay(0.5).scaled_for_async(8),
             OptimizerConfig(batch_fraction=0.1, max_updates=200),
+            barrier=SSP(4),
         ).run()
         print(result.final_error(problem))
+
+Every asynchronous optimizer shares one driver,
+:class:`repro.optim.loop.ServerLoop`; an algorithm is just an
+:class:`repro.optim.loop.UpdateRule` (publish / kernel / reduce / apply),
+which is what makes the paper's "sync -> async in a few extra lines"
+literal here.
 """
 
+from repro.api.spec import ExperimentSpec, GridSpec
 from repro.core.barriers import (
     ASP,
     BSP,
@@ -56,9 +80,25 @@ from repro.optim.stepsize import (
     PolyDecay,
     StalenessScaled,
 )
+from repro.optim.loop import ServerLoop, UpdateRule
 from repro.optim.svrg import AsyncSVRG, SyncSVRG
 
-__version__ = "1.0.0"
+
+def run_experiment(spec):
+    """Run a declarative experiment spec; see :func:`repro.api.run_experiment`."""
+    from repro.api.runner import run_experiment as _run
+
+    return _run(spec)
+
+
+def run_grid(grid, progress=None):
+    """Run a parameter sweep; see :func:`repro.api.run_grid`."""
+    from repro.api.runner import run_grid as _run
+
+    return _run(grid, progress=progress)
+
+
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterContext",
@@ -87,5 +127,11 @@ __all__ = [
     "AsyncSVRG",
     "SyncADMM",
     "AsyncADMM",
+    "ServerLoop",
+    "UpdateRule",
+    "ExperimentSpec",
+    "GridSpec",
+    "run_experiment",
+    "run_grid",
     "__version__",
 ]

@@ -1,0 +1,148 @@
+"""Command-line runner: experiments as JSON files.
+
+::
+
+    python -m repro run examples/specs/asgd.json
+    python -m repro sweep examples/specs/asgd_barrier_sweep.json --out results.json
+    python -m repro list
+
+``run`` executes a single :class:`~repro.api.ExperimentSpec`; ``sweep``
+expands a :class:`~repro.api.GridSpec` (a plain spec counts as a 1-cell
+grid) and runs every cell. Both print human-readable summaries and can
+write the machine-readable form with ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _load_json(path: str) -> dict:
+    try:
+        text = sys.stdin.read() if path == "-" else Path(path).read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read spec {path!r}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise ReproError(f"{path}: top-level JSON value must be an object")
+    return data
+
+
+def _write_out(payload, out: str | None) -> None:
+    if out:
+        try:
+            Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+        except OSError as exc:
+            raise ReproError(f"cannot write {out!r}: {exc}") from exc
+        print(f"wrote {out}")
+
+
+def _varied_fields(summary: dict, grid_axes: list[str]) -> str:
+    spec = summary["spec"]
+    parts = []
+    for axis in grid_axes:
+        node, keys = spec, axis.split(".")
+        for key in keys:
+            node = node[key] if isinstance(node, dict) else node
+        parts.append(f"{keys[-1]}={node}")
+    return " ".join(parts)
+
+
+def _print_summary(summary: dict, prefix: str = "") -> None:
+    print(
+        f"{prefix}{summary['algorithm']:>14s}  "
+        f"err {summary['initial_error']:.4g} -> {summary['final_error']:.4g}"
+        f"  in {summary['elapsed_ms']:8.1f} ms"
+        f"  ({summary['updates']} updates, {summary['rounds']} rounds, "
+        f"avg wait {summary['avg_wait_ms']:.2f} ms)"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api.runner import prepare_experiment, summarize
+
+    prep = prepare_experiment(_load_json(args.spec))
+    spec = prep.spec
+    print(
+        f"running {spec.algorithm} on {spec.dataset} "
+        f"(P={spec.num_workers}, delay={spec.delay!r}, "
+        f"barrier={spec.barrier!r}, seed={spec.seed})"
+    )
+    summary = summarize(prep, prep.execute())
+    _print_summary(summary)
+    for key, value in sorted(summary["extras"].items()):
+        print(f"    {key}: {value}")
+    _write_out(summary, args.out)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api.runner import run_grid
+    from repro.api.spec import GridSpec
+
+    grid = GridSpec.coerce(_load_json(args.spec))
+    axes = list(grid.grid)
+    print(f"sweep: {len(grid)} cell(s) over {axes or ['(single spec)']}")
+
+    def progress(i: int, total: int, summary: dict) -> None:
+        _print_summary(summary, prefix=f"[{i + 1}/{total}] ")
+        varied = _varied_fields(summary, axes)
+        if varied:
+            print(f"          {varied}")
+
+    summaries = run_grid(grid, progress=progress)
+    _write_out(summaries, args.out)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    import repro.api.runner  # noqa: F401  (populates every registry)
+    from repro.api import BARRIERS, DELAY_MODELS, OPTIMIZERS, PROBLEMS, STEPS
+    from repro.data.registry import list_datasets
+
+    for registry in (OPTIMIZERS, PROBLEMS, BARRIERS, STEPS, DELAY_MODELS):
+        print(f"{registry.kind}s: {', '.join(registry.names())}")
+    print(f"datasets: {', '.join(list_datasets())}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative ASYNC experiments from JSON specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment spec")
+    p_run.add_argument("spec", help="path to an ExperimentSpec JSON ('-' for stdin)")
+    p_run.add_argument("--out", help="write the JSON summary here")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a parameter sweep (GridSpec)")
+    p_sweep.add_argument("spec", help="path to a GridSpec JSON ('-' for stdin)")
+    p_sweep.add_argument("--out", help="write the list of JSON summaries here")
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_list = sub.add_parser("list", help="list registered components and datasets")
+    p_list.set_defaults(fn=_cmd_list)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

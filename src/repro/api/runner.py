@@ -1,0 +1,311 @@
+"""Execute :class:`ExperimentSpec`s: spec -> components -> RunResult.
+
+``run_experiment(spec)`` is the one-call entry point: it materializes the
+dataset, resolves every component through the registries, runs the
+optimizer on a fresh simulated cluster, and returns the optimizer's
+:class:`~repro.optim.base.RunResult` — identical, update for update, to
+what the hand-wired object API produces for the same configuration.
+
+``prepare_experiment`` exposes the intermediate
+:class:`PreparedExperiment` for callers that need to own the cluster
+context (the bench harness reads dispatcher byte counters before the
+context closes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.api.registry import (
+    BARRIERS,
+    DELAY_MODELS,
+    OPTIMIZERS,
+    PROBLEMS,
+    STEPS,
+)
+from repro.api.spec import ExperimentSpec, GridSpec
+from repro.cluster.cost import AnalyticCostModel
+from repro.cluster.network import NetworkModel
+from repro.cluster.stragglers import DelayModel
+from repro.core.barriers import BarrierPolicy
+from repro.data.registry import get_dataset
+from repro.engine.context import ClusterContext
+from repro.errors import ApiError
+from repro.metrics.wait_time import average_wait_ms
+from repro.optim.base import DistributedOptimizer, OptimizerConfig, RunResult
+from repro.optim.problems import Problem
+from repro.optim.stepsize import StepSchedule
+
+__all__ = [
+    "PreparedExperiment",
+    "prepare_experiment",
+    "run_experiment",
+    "run_grid",
+    "summarize",
+    "default_step",
+]
+
+_SAGA_FAMILY = {"saga", "asaga"}
+_CONSTANT_FAMILY = {"saga", "asaga", "svrg", "asvrg", "admm", "aadmm"}
+
+
+def default_step(
+    algorithm: str,
+    alpha0: float,
+    num_workers: int,
+    staleness_adaptive: bool = False,
+) -> StepSchedule:
+    """The paper's per-algorithm tuning (Section 6.1) as a factory.
+
+    SGD variants decay by ``1/sqrt(t)``; variance-reduced and ADMM
+    methods use a constant step. A registered optimizer outside those
+    families (a user extension) falls back to the ``1/sqrt(t)`` decay —
+    pass an explicit ``step`` spec to override. Asynchronous methods
+    either divide the synchronous step by the worker count (the paper's
+    heuristic) or, with ``staleness_adaptive``, modulate by
+    ``1/staleness`` (Listing 1 / Zhang et al. [72]) — the modulation
+    *replaces* the 1/P division: in steady state a P-worker cluster
+    delivers results with staleness ~P-1, so stacking both would
+    double-damp every update.
+    """
+    from repro.optim.stepsize import ConstantStep, InvSqrtDecay, StalenessScaled
+
+    cls = OPTIMIZERS.get(algorithm)  # raises ApiError for unknown names
+    if algorithm in _CONSTANT_FAMILY:
+        step: StepSchedule = ConstantStep(alpha0)
+    else:
+        step = InvSqrtDecay(alpha0)
+    if getattr(cls, "is_async", False):
+        if staleness_adaptive:
+            step = StalenessScaled(step)
+        else:
+            step = step.scaled_for_async(num_workers)
+    return step
+
+
+@dataclass
+class PreparedExperiment:
+    """Every component of a spec, resolved and ready to run."""
+
+    spec: ExperimentSpec
+    X: Any
+    y: np.ndarray
+    problem: Problem
+    config: OptimizerConfig
+    step: StepSchedule
+    barrier: BarrierPolicy | None
+    delay_model: DelayModel
+    cost_model: AnalyticCostModel | None
+    network: NetworkModel | None
+    num_partitions: int
+
+    def make_context(self) -> ClusterContext:
+        """A fresh simulated cluster per the spec (use as context manager)."""
+        return ClusterContext(
+            self.spec.num_workers,
+            seed=self.spec.seed,
+            cost_model=self.cost_model,
+            network=self.network,
+            delay_model=self.delay_model,
+        )
+
+    def make_optimizer(self, ctx: ClusterContext, points) -> DistributedOptimizer:
+        """Instantiate the registered optimizer on an open context."""
+        cls = OPTIMIZERS.get(self.spec.algorithm)
+        kwargs = dict(self.spec.params or {})
+        if self.barrier is not None or getattr(cls, "is_async", False):
+            kwargs["barrier"] = self.barrier
+        try:
+            return cls(
+                ctx, points, self.problem, self.step, self.config, **kwargs
+            )
+        except TypeError as exc:
+            raise ApiError(
+                f"bad params for optimizer {self.spec.algorithm!r}: {exc}"
+            ) from exc
+
+    def run_in(self, ctx: ClusterContext) -> RunResult:
+        """Partition the data and run the optimizer on an open context."""
+        points = ctx.matrix(self.X, self.y, self.num_partitions).cache()
+        return self.make_optimizer(ctx, points).run()
+
+    def execute(self) -> RunResult:
+        """Run on a fresh cluster (context opened and closed internally)."""
+        with self.make_context() as ctx:
+            return self.run_in(ctx)
+
+
+def prepare_experiment(
+    spec: ExperimentSpec | Mapping[str, Any],
+    *,
+    _dataset: tuple | None = None,
+    _problem: Problem | None = None,
+) -> PreparedExperiment:
+    """Resolve a spec's components without running anything.
+
+    ``_dataset`` / ``_problem`` let ``run_grid`` pass pre-built shared
+    components so sweep cells with the same (dataset, seed, problem)
+    don't re-synthesize data or re-solve the reference optimum; problems
+    and data are read-only during runs, so sharing is safe.
+    """
+    spec = ExperimentSpec.coerce(spec)
+    X, y, dspec = _dataset or get_dataset(spec.dataset, seed=spec.seed)
+    problem = _problem or PROBLEMS.create(
+        spec.problem, defaults={"X": X, "y": y}, expect=Problem
+    )
+
+    if spec.batch_fraction is not None:
+        b = spec.batch_fraction
+    elif spec.algorithm in _SAGA_FAMILY:
+        b = dspec.b_saga
+    else:
+        b = dspec.b_sgd
+
+    if spec.step is not None:
+        if spec.alpha0 is not None or spec.staleness_adaptive:
+            raise ApiError(
+                "'step' replaces the default schedule entirely; drop "
+                "'alpha0'/'staleness_adaptive' (fold them into the step "
+                "spec) or remove 'step'"
+            )
+        step = STEPS.create(
+            spec.step,
+            defaults={"num_workers": spec.num_workers},
+            expect=StepSchedule,
+        )
+    else:
+        alpha0 = spec.alpha0
+        if alpha0 is None:
+            alpha0 = (
+                dspec.alpha_saga if spec.algorithm in _SAGA_FAMILY
+                else dspec.alpha_sgd
+            )
+        step = default_step(
+            spec.algorithm, alpha0, spec.num_workers, spec.staleness_adaptive
+        )
+
+    if spec.barrier is None:
+        barrier = None
+    else:
+        if not getattr(OPTIMIZERS.get(spec.algorithm), "is_async", False):
+            raise ApiError(
+                f"barrier {spec.barrier!r} has no effect on the synchronous "
+                f"optimizer {spec.algorithm!r}; drop it or use an "
+                "asynchronous variant"
+            )
+        barrier = BARRIERS.create(spec.barrier, expect=BarrierPolicy)
+    delay = DELAY_MODELS.create(
+        spec.delay,
+        defaults={"num_workers": spec.num_workers, "seed": spec.seed},
+        expect=DelayModel,
+    )
+    try:
+        config = OptimizerConfig(
+            batch_fraction=b,
+            max_updates=spec.max_updates,
+            max_time_ms=(
+                float("inf") if spec.max_time_ms is None else spec.max_time_ms
+            ),
+            eval_every=spec.eval_every,
+            seed=spec.seed,
+            step_time=spec.step_time,
+            pipeline_depth=spec.pipeline_depth,
+        )
+    except (TypeError, ValueError) as exc:
+        # OptimError (bad values) is already a ReproError; this catches
+        # wrong-typed JSON like {"max_updates": "50"}.
+        raise ApiError(f"bad run parameters: {exc}") from exc
+    try:
+        cost_model = (
+            None if spec.cost is None else AnalyticCostModel(**spec.cost)
+        )
+        network = (
+            None if spec.network is None else NetworkModel(**spec.network)
+        )
+    except (TypeError, ValueError) as exc:
+        raise ApiError(f"bad cost/network parameters: {exc}") from exc
+    return PreparedExperiment(
+        spec=spec,
+        X=X,
+        y=y,
+        problem=problem,
+        config=config,
+        step=step,
+        barrier=barrier,
+        delay_model=delay,
+        cost_model=cost_model,
+        network=network,
+        num_partitions=spec.num_partitions or 2 * spec.num_workers,
+    )
+
+
+def run_experiment(spec: ExperimentSpec | Mapping[str, Any]) -> RunResult:
+    """Run one spec on a fresh simulated cluster; return its RunResult."""
+    return prepare_experiment(spec).execute()
+
+
+def summarize(prep: PreparedExperiment, result: RunResult) -> dict:
+    """A JSON-safe summary of one run (what the CLI prints and saves)."""
+    problem = prep.problem
+    return {
+        "spec": prep.spec.to_dict(),
+        "algorithm": result.algorithm,
+        "final_error": float(problem.error(result.w)),
+        "initial_error": float(problem.error(problem.initial_point())),
+        "updates": result.updates,
+        "rounds": result.rounds,
+        "elapsed_ms": float(result.elapsed_ms),
+        "avg_wait_ms": float(average_wait_ms(result.metrics)),
+        "w_norm": float(np.linalg.norm(result.w)),
+        "extras": {
+            k: v for k, v in result.extras.items()
+            if isinstance(v, (bool, int, float, str))
+        },
+    }
+
+
+def _component_key(spec: Any):
+    """A hashable cache key for a component spec (str, dict, or instance)."""
+    if isinstance(spec, Mapping):
+        return json.dumps(spec, sort_keys=True, default=repr)
+    return spec if isinstance(spec, str) else id(spec)
+
+
+def run_grid(
+    grid: GridSpec | ExperimentSpec | Mapping[str, Any],
+    progress=None,
+) -> list[dict]:
+    """Run every cell of a sweep; returns one summary dict per cell.
+
+    ``progress``, if given, is called as ``progress(i, total, summary)``
+    after each cell (the CLI uses it to print one line per run).
+    """
+    grid = GridSpec.coerce(grid)
+    specs = grid.expand()
+    summaries = []
+    # One-slot caches: adjacent cells almost always share a dataset and
+    # problem (sweeps vary barriers/workers/steps far more often than
+    # data), and a single slot keeps memory constant when they don't
+    # (e.g. a seed sweep touches a fresh dataset every cell).
+    dataset_key = problem_key = object()
+    dataset = problem = None
+    for i, spec in enumerate(specs):
+        key = (spec.dataset, spec.seed)
+        if key != dataset_key:
+            dataset_key, dataset = key, get_dataset(spec.dataset,
+                                                    seed=spec.seed)
+            problem_key, problem = object(), None
+        pkey = (*key, _component_key(spec.problem))
+        if pkey != problem_key:
+            problem_key, problem = pkey, None
+        prep = prepare_experiment(spec, _dataset=dataset, _problem=problem)
+        problem = prep.problem
+        summary = summarize(prep, prep.execute())
+        summaries.append(summary)
+        if progress is not None:
+            progress(i, len(specs), summary)
+    return summaries

@@ -1,0 +1,225 @@
+"""Experiment specifications: experiments as JSON-serializable data.
+
+An :class:`ExperimentSpec` is the declarative description of one run —
+every field is a plain string/number/dict, so specs round-trip through
+JSON, diff cleanly, and can be generated programmatically. Component
+fields (``barrier``, ``step``, ``delay``, ``problem``) use the registry
+spellings from :mod:`repro.api.registry`.
+
+A :class:`GridSpec` is a base spec plus axes to sweep; ``expand()``
+produces the cartesian product as concrete specs. Axis keys are
+dotted paths into the spec dict (``"params.mode"``, ``"step.a"``), so
+sweeps can reach nested component parameters. To sweep inside a
+*component* field (``step``, ``barrier``, ``delay``, ``problem``), the
+base spec must spell that field as a dict — the swept cells inherit its
+``"name"`` key: base ``step={"name": "constant", "a": 0.1}`` makes
+``"step.a"`` a valid axis, while a base that leaves ``step`` unset has
+nothing to vary inside.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from repro.errors import ApiError
+
+__all__ = ["ExperimentSpec", "GridSpec"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment, fully described as data.
+
+    Component fields accept the registry spellings: a bare name
+    (``"asp"``), a mini-language token (``"ssp:4"``), or a dict
+    (``{"name": "cds", "intensity": 0.6}``). ``None`` means "use the
+    library default" — the per-algorithm barrier, the dataset's tuned
+    hyperparameters, the backend's cost/network models.
+    """
+
+    algorithm: str = "asgd"
+    dataset: str = "tiny_dense"
+    problem: Any = "least_squares"
+    num_workers: int = 4
+    #: ``None`` -> two partitions per worker.
+    num_partitions: int | None = None
+    delay: Any = "none"
+    #: ``None`` -> the optimizer's own default (ASP for async methods).
+    barrier: Any = None
+    #: ``None`` -> built from the dataset's tuned ``alpha0`` (see below).
+    step: Any = None
+    #: Initial step size for the default schedule; ``None`` -> dataset's.
+    alpha0: float | None = None
+    #: Listing 1: modulate the default step by 1/staleness instead of 1/P.
+    staleness_adaptive: bool = False
+    #: ``None`` -> the dataset's tuned sampling rate.
+    batch_fraction: float | None = None
+    max_updates: int = 100
+    #: ``None`` -> unbounded (stored as +inf in OptimizerConfig).
+    max_time_ms: float | None = None
+    eval_every: int = 1
+    seed: int = 0
+    step_time: str = "pass"
+    pipeline_depth: int = 1
+    #: Extra optimizer-constructor kwargs (``mode``, ``inner_iterations``,
+    #: ``rho``, ...).
+    params: dict = field(default_factory=dict)
+    #: ``AnalyticCostModel`` kwargs, or ``None`` for the backend default.
+    cost: dict | None = None
+    #: ``NetworkModel`` kwargs, or ``None`` for the backend default.
+    network: dict | None = None
+
+    # -- serialization -----------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON dict (no infinities, no library objects)."""
+        out = asdict(self)
+        if out["max_time_ms"] is not None and math.isinf(out["max_time_ms"]):
+            out["max_time_ms"] = None
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ApiError(
+                f"unknown ExperimentSpec field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(known)}"
+            )
+        clean = dict(data)
+        if clean.get("params") is None:
+            clean["params"] = {}  # JSON null means "no extra params"
+        return cls(**clean)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def coerce(cls, spec: "ExperimentSpec | Mapping[str, Any]") -> "ExperimentSpec":
+        """Accept a spec or a plain dict (the CLI / user-facing entry)."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, Mapping):
+            return cls.from_dict(spec)
+        converter = getattr(spec, "to_api_spec", None)
+        if callable(converter):
+            # A bench-layer repro.bench.harness.ExperimentSpec: convert.
+            return cls.coerce(converter())
+        raise ApiError(
+            f"cannot interpret {type(spec).__name__} as an "
+            "api ExperimentSpec (expected a dict or repro.api.ExperimentSpec)"
+        )
+
+    def with_overrides(self, **overrides: Any) -> "ExperimentSpec":
+        return replace(self, **overrides)
+
+
+def _set_path(data: dict, path: str, value: Any) -> None:
+    """Assign ``value`` at a dotted path, creating nested dicts as needed."""
+    keys = path.split(".")
+    node = data
+    for key in keys[:-1]:
+        child = node.get(key)
+        if child is None:
+            child = {}
+            node[key] = child
+        elif not isinstance(child, dict):
+            raise ApiError(
+                f"grid axis {path!r} descends into non-dict field {key!r}"
+            )
+        node = child
+    node[keys[-1]] = value
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A parameter sweep: one base spec x cartesian product of axes."""
+
+    base: ExperimentSpec = field(default_factory=ExperimentSpec)
+    #: Dotted spec path -> list of values, e.g.
+    #: ``{"num_workers": [4, 8], "barrier": ["asp", "ssp:4"]}``.
+    grid: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for axis, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ApiError(
+                    f"grid axis {axis!r} must map to a non-empty list, "
+                    f"got {values!r}"
+                )
+
+    def __len__(self) -> int:
+        return math.prod(len(v) for v in self.grid.values()) if self.grid else 1
+
+    def expand(self) -> list[ExperimentSpec]:
+        """Concrete specs, varying the last axis fastest (row-major)."""
+        data_types = (str, int, float, bool, dict, list, tuple, type(None))
+        bad = [
+            f.name for f in fields(self.base)
+            if not isinstance(getattr(self.base, f.name), data_types)
+        ]
+        if bad:
+            # Expansion round-trips through to_dict, which would deep-copy
+            # an instance (e.g. a Problem holding the dataset) into every
+            # cell — a silent memory blowup. Grid bases are data by
+            # contract.
+            raise ApiError(
+                f"GridSpec base field(s) {bad} hold object instances; a "
+                "sweep base must be pure data (registry names or dicts) — "
+                "for instance-built specs call run_experiment directly"
+            )
+        axes = list(self.grid.items())
+        specs = []
+        for combo in itertools.product(*(values for _, values in axes)):
+            data = self.base.to_dict()
+            for (axis, _), value in zip(axes, combo):
+                _set_path(data, axis, value)
+            specs.append(ExperimentSpec.from_dict(data))
+        return specs
+
+    # -- serialization -----------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"base": self.base.to_dict(), "grid": dict(self.grid)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GridSpec":
+        unknown = set(data) - {"base", "grid"}
+        if unknown:
+            raise ApiError(
+                f"unknown GridSpec field(s) {sorted(unknown)}; "
+                "valid fields: ['base', 'grid']"
+            )
+        return cls(
+            base=ExperimentSpec.coerce(data.get("base") or {}),
+            grid=dict(data.get("grid") or {}),  # JSON null -> no axes
+        )
+
+    @classmethod
+    def coerce(cls, spec: "GridSpec | ExperimentSpec | Mapping[str, Any]") -> "GridSpec":
+        """Accept a grid, a single spec (1-cell grid), or a plain dict."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, ExperimentSpec):
+            return cls(base=spec)
+        if isinstance(spec, Mapping):
+            if "grid" in spec or "base" in spec:
+                return cls.from_dict(spec)
+            return cls(base=ExperimentSpec.from_dict(spec))
+        raise ApiError(f"cannot interpret {type(spec).__name__} as a GridSpec")
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        dumps_kwargs.setdefault("indent", 2)
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GridSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,13 +1,16 @@
-"""Experiment harness: declarative specs -> runs -> comparable summaries.
+"""Benchmark harness: frozen, hashable specs -> figure-ready summaries.
 
-An :class:`ExperimentSpec` names everything an evaluation cell needs —
-dataset, algorithm, cluster size, straggler model, barrier, budgets — and
-``run_experiment`` executes it on a fresh simulated cluster, returning an
-:class:`ExperimentResult` with the error-vs-time series and wait-time
-statistics that the figure drivers aggregate.
+A :class:`ExperimentSpec` here names everything an evaluation cell needs
+— dataset, algorithm, cluster size, straggler model, barrier, budgets —
+with every field a printable/hashable scalar (the specs key the result
+cache in :mod:`repro.bench.figures`). Execution routes through the
+declarative layer in :mod:`repro.api`: each bench spec converts to an
+:class:`repro.api.ExperimentSpec` (``to_api_spec``), is resolved by the
+shared registries, and runs via :func:`repro.api.runner.prepare_experiment`
+— the harness only adds the figure-oriented :class:`ExperimentResult`
+summary (error series, wait time, byte counters).
 
-String mini-languages keep specs printable and hashable (they key the
-result cache in :mod:`repro.bench.figures`):
+String mini-languages (shared with the api registries):
 
 - delay: ``"none"``, ``"cds:<intensity>"``, ``"pcs"``
 - barrier: ``"asp"``, ``"bsp"``, ``"ssp:<s>"``, ``"frac:<beta>"``,
@@ -19,71 +22,30 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
-from repro.cluster.cost import AnalyticCostModel
-from repro.cluster.network import NetworkModel
-from repro.cluster.stragglers import (
-    ControlledDelay,
-    DelayModel,
-    NoDelay,
-    ProductionCluster,
-)
-from repro.core.barriers import (
-    ASP,
-    BSP,
-    SSP,
-    BarrierPolicy,
-    CompletionTimeBarrier,
-    MinAvailableFraction,
-)
-from repro.data.registry import get_dataset
-from repro.engine.context import ClusterContext
+from repro.api.registry import BARRIERS, DELAY_MODELS
+from repro.api.spec import ExperimentSpec as ApiSpec
+from repro.api.runner import prepare_experiment
+from repro.cluster.stragglers import DelayModel
+from repro.core.barriers import BarrierPolicy
 from repro.errors import ReproError
 from repro.metrics.wait_time import average_wait_ms
-from repro.optim.asaga import AsyncSAGA
-from repro.optim.asgd import AsyncSGD
-from repro.optim.base import OptimizerConfig
-from repro.optim.problems import LeastSquaresProblem
-from repro.optim.saga import SyncSAGA
-from repro.optim.sgd import SyncSGD
-from repro.optim.stepsize import ConstantStep, InvSqrtDecay, StalenessScaled
-from repro.optim.svrg import AsyncSVRG, SyncSVRG
 
 __all__ = ["ExperimentSpec", "ExperimentResult", "run_experiment",
            "parse_delay", "parse_barrier"]
 
-_ASYNC_ALGOS = {"asgd", "asaga", "asvrg"}
 _SAGA_ALGOS = {"saga", "asaga"}
 
 
 def parse_delay(token: str, num_workers: int, seed: int) -> DelayModel:
-    """Parse the delay mini-language into a model."""
-    if token == "none":
-        return NoDelay()
-    if token.startswith("cds:"):
-        intensity = float(token.split(":", 1)[1])
-        if intensity == 0:
-            return NoDelay()
-        return ControlledDelay(intensity, workers=(0,))
-    if token == "pcs":
-        return ProductionCluster(num_workers=num_workers, seed=seed)
-    raise ReproError(f"unknown delay spec {token!r}")
+    """Parse the delay mini-language via the registry."""
+    return DELAY_MODELS.create(
+        token, defaults={"num_workers": num_workers, "seed": seed}
+    )
 
 
 def parse_barrier(token: str) -> BarrierPolicy:
-    """Parse the barrier mini-language into a policy."""
-    if token == "asp":
-        return ASP()
-    if token == "bsp":
-        return BSP()
-    if token.startswith("ssp:"):
-        return SSP(int(token.split(":", 1)[1]))
-    if token.startswith("frac:"):
-        return MinAvailableFraction(float(token.split(":", 1)[1]))
-    if token.startswith("ct:"):
-        return CompletionTimeBarrier(float(token.split(":", 1)[1]))
-    raise ReproError(f"unknown barrier spec {token!r}")
+    """Parse the barrier mini-language via the registry."""
+    return BARRIERS.create(token)
 
 
 @dataclass(frozen=True)
@@ -115,10 +77,54 @@ class ExperimentSpec:
     net_bandwidth_bytes_per_ms: float = 1.25e6
 
     def is_async(self) -> bool:
-        return self.algorithm in _ASYNC_ALGOS
+        from repro.api.registry import OPTIMIZERS
+
+        return self.algorithm in OPTIMIZERS and getattr(
+            OPTIMIZERS.get(self.algorithm), "is_async", False
+        )
 
     def with_updates(self, max_updates: int, **kw) -> "ExperimentSpec":
         return replace(self, max_updates=max_updates, **kw)
+
+    def to_api_spec(self) -> ApiSpec:
+        """The equivalent :class:`repro.api.ExperimentSpec`."""
+        if not self.is_async():
+            # Sync cells never consult the barrier, but a bad token is a
+            # mis-keyed spec — fail fast like the pre-registry harness did.
+            parse_barrier(self.barrier)
+        params: dict = {}
+        if self.algorithm in _SAGA_ALGOS:
+            params["mode"] = self.saga_mode
+        if self.algorithm in ("svrg", "asvrg"):
+            params["inner_iterations"] = self.svrg_inner
+        return ApiSpec(
+            algorithm=self.algorithm,
+            dataset=self.dataset,
+            num_workers=self.num_workers,
+            num_partitions=self.num_partitions,
+            delay=self.delay,
+            # The bench layer carries a barrier field for every cell;
+            # synchronous algorithms never consult it (validated above),
+            # and the api layer rejects the meaningless combination.
+            barrier=self.barrier if self.is_async() else None,
+            alpha0=self.alpha0,
+            staleness_adaptive=self.staleness_adaptive,
+            batch_fraction=self.batch_fraction,
+            max_updates=self.max_updates,
+            max_time_ms=None if math.isinf(self.max_time_ms) else self.max_time_ms,
+            eval_every=self.eval_every,
+            seed=self.seed,
+            pipeline_depth=self.pipeline_depth,
+            params=params,
+            cost={
+                "overhead_ms": self.cost_overhead_ms,
+                "ms_per_unit": self.cost_ms_per_unit,
+            },
+            network={
+                "latency_ms": self.net_latency_ms,
+                "bandwidth_bytes_per_ms": self.net_bandwidth_bytes_per_ms,
+            },
+        )
 
 
 @dataclass
@@ -149,95 +155,18 @@ class ExperimentResult:
         return self.initial_error * rel
 
 
-def _make_step(spec: ExperimentSpec, alpha0: float, num_workers: int):
-    if spec.algorithm in ("sgd", "asgd"):
-        step = InvSqrtDecay(alpha0)
-    elif spec.algorithm in ("saga", "asaga", "svrg", "asvrg"):
-        step = ConstantStep(alpha0)
-    else:
-        raise ReproError(f"unknown algorithm {spec.algorithm!r}")
-    if spec.is_async():
-        if spec.staleness_adaptive:
-            # Listing 1 / Zhang et al. [72]: the 1/staleness modulation
-            # *replaces* the paper's 1/P heuristic — in steady state a
-            # P-worker cluster delivers results with staleness ~P-1, so
-            # stacking both would double-damp every update.
-            step = StalenessScaled(step)
-        else:
-            step = step.scaled_for_async(num_workers)
-    return step
-
-
-def _make_optimizer(spec, ctx, points, problem, step, cfg, barrier):
-    if spec.algorithm == "sgd":
-        return SyncSGD(ctx, points, problem, step, cfg)
-    if spec.algorithm == "asgd":
-        return AsyncSGD(ctx, points, problem, step, cfg, barrier=barrier)
-    if spec.algorithm == "saga":
-        return SyncSAGA(ctx, points, problem, step, cfg, mode=spec.saga_mode)
-    if spec.algorithm == "asaga":
-        return AsyncSAGA(
-            ctx, points, problem, step, cfg, barrier=barrier,
-            mode=spec.saga_mode,
-        )
-    if spec.algorithm == "svrg":
-        return SyncSVRG(
-            ctx, points, problem, step, cfg, inner_iterations=spec.svrg_inner
-        )
-    if spec.algorithm == "asvrg":
-        return AsyncSVRG(
-            ctx, points, problem, step, cfg, barrier=barrier,
-            inner_iterations=spec.svrg_inner,
-        )
-    raise ReproError(f"unknown algorithm {spec.algorithm!r}")
-
-
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Execute one cell on a fresh simulated cluster."""
-    X, y, dspec = get_dataset(spec.dataset, seed=spec.seed)
-    problem = LeastSquaresProblem(X, y)
-
-    if spec.batch_fraction is not None:
-        b = spec.batch_fraction
-    elif spec.algorithm in _SAGA_ALGOS:
-        b = dspec.b_saga
-    else:
-        b = dspec.b_sgd
-    alpha0 = spec.alpha0
-    if alpha0 is None:
-        alpha0 = (
-            dspec.alpha_saga if spec.algorithm in _SAGA_ALGOS
-            else dspec.alpha_sgd
+    """Execute one cell on a fresh simulated cluster via the spec layer."""
+    if not isinstance(spec, ExperimentSpec):
+        raise ReproError(
+            "bench run_experiment expects a repro.bench.harness."
+            f"ExperimentSpec, got {type(spec).__name__}; for api specs or "
+            "dicts use repro.api.run_experiment"
         )
-
-    delay = parse_delay(spec.delay, spec.num_workers, spec.seed)
-    barrier = parse_barrier(spec.barrier)
-    cost = AnalyticCostModel(
-        overhead_ms=spec.cost_overhead_ms, ms_per_unit=spec.cost_ms_per_unit
-    )
-    cfg = OptimizerConfig(
-        batch_fraction=b,
-        max_updates=spec.max_updates,
-        max_time_ms=spec.max_time_ms,
-        eval_every=spec.eval_every,
-        seed=spec.seed,
-        pipeline_depth=spec.pipeline_depth,
-    )
-    network = NetworkModel(
-        latency_ms=spec.net_latency_ms,
-        bandwidth_bytes_per_ms=spec.net_bandwidth_bytes_per_ms,
-    )
-    with ClusterContext(
-        spec.num_workers,
-        seed=spec.seed,
-        cost_model=cost,
-        network=network,
-        delay_model=delay,
-    ) as ctx:
-        points = ctx.matrix(X, y, spec.num_partitions).cache()
-        step = _make_step(spec, alpha0, spec.num_workers)
-        opt = _make_optimizer(spec, ctx, points, problem, step, cfg, barrier)
-        result = opt.run()
+    prep = prepare_experiment(spec.to_api_spec())
+    problem = prep.problem
+    with prep.make_context() as ctx:
+        result = prep.run_in(ctx)
 
         errors = result.trace.errors(problem)
         series = list(zip(result.trace.times_ms, errors.tolist()))

@@ -23,6 +23,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.api.registry import register_delay_model
 from repro.utils.rng import RngFactory
 
 __all__ = ["DelayModel", "NoDelay", "ControlledDelay", "ProductionCluster"]
@@ -39,6 +40,7 @@ class DelayModel(ABC):
         return type(self).__name__
 
 
+@register_delay_model("none")
 class NoDelay(DelayModel):
     """Homogeneous cluster: every task runs at full speed."""
 
@@ -69,6 +71,7 @@ class ControlledDelay(DelayModel):
         return f"CDS(intensity={self.intensity:.0%}, workers={sorted(self._workers)})"
 
 
+@register_delay_model("pcs")
 @dataclass
 class ProductionCluster(DelayModel):
     """PCS: production-cluster straggler mix.
@@ -130,6 +133,14 @@ class ProductionCluster(DelayModel):
             f"PCS(P={self.num_workers}, uniform={sorted(self.uniform_workers)}, "
             f"long_tail={sorted(self.long_tail_workers)})"
         )
+
+
+@register_delay_model("cds")
+def _make_cds(intensity: float = 1.0, workers: Sequence[int] = (0,)) -> DelayModel:
+    """Spec-layer CDS factory; zero intensity degenerates to ``NoDelay``."""
+    if intensity == 0:
+        return NoDelay()
+    return ControlledDelay(intensity, workers=tuple(workers))
 
 
 def delays_from_mapping(mapping: Mapping[int, float]) -> DelayModel:

@@ -26,6 +26,7 @@ import math
 from abc import ABC, abstractmethod
 from typing import Callable
 
+from repro.api.registry import register_barrier
 from repro.core.stat import StatTable
 
 __all__ = [
@@ -64,6 +65,7 @@ class BarrierPolicy(ABC):
         return OrBarrier(self, other)
 
 
+@register_barrier("asp")
 class ASP(BarrierPolicy):
     """Fully asynchronous: dispatch whenever anyone is free."""
 
@@ -71,6 +73,7 @@ class ASP(BarrierPolicy):
         return stat.num_available >= 1
 
 
+@register_barrier("bsp")
 class BSP(BarrierPolicy):
     """Bulk synchronous: dispatch only when every alive worker is free."""
 
@@ -78,6 +81,7 @@ class BSP(BarrierPolicy):
         return stat.num_alive > 0 and stat.num_available == stat.num_alive
 
 
+@register_barrier("ssp")
 class SSP(BarrierPolicy):
     """Stale synchronous parallel with staleness threshold ``s``.
 
@@ -98,6 +102,7 @@ class SSP(BarrierPolicy):
         return f"SSP(s={self.threshold})"
 
 
+@register_barrier("frac", aliases=("min_available_fraction",))
 class MinAvailableFraction(BarrierPolicy):
     """Algorithm 2's bounded-availability rule: need ⌊β·P⌋ free workers."""
 
@@ -114,6 +119,7 @@ class MinAvailableFraction(BarrierPolicy):
         return f"MinAvailableFraction(beta={self.beta})"
 
 
+@register_barrier("ct", aliases=("completion_time",))
 class CompletionTimeBarrier(BarrierPolicy):
     """Performance-based barrier in the spirit of [69].
 

@@ -17,9 +17,7 @@ SGD/SAGA sampling rates and the PCS batch fraction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
-import numpy as np
 
 from repro.data.synthetic import make_dense_regression, make_sparse_regression
 from repro.errors import DataError

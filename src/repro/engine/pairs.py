@@ -15,7 +15,6 @@ not a peer-to-peer terabyte shuffle.
 
 from __future__ import annotations
 
-import functools
 from collections import defaultdict
 from typing import Any, Callable, Hashable
 

@@ -63,5 +63,9 @@ class OptimError(ReproError):
     """Errors raised by optimization drivers."""
 
 
+class ApiError(ReproError):
+    """Errors raised by the declarative experiment API (registries, specs)."""
+
+
 class DataError(ReproError):
     """Errors raised by dataset generation or I/O."""

@@ -9,12 +9,19 @@ Synchronous (Spark-style BSP) and asynchronous (ASYNC) variants of:
 
 plus staleness-adaptive step sizes (Listing 1) and single-process
 reference implementations used for the MLlib comparison (Figure 2).
+
+Asynchronous variants share one driver — :class:`repro.optim.loop.ServerLoop`
+— and contribute only an :class:`repro.optim.loop.UpdateRule` with their
+mathematics; the optimizer classes are thin wrappers kept for the object
+API. All components self-register with :mod:`repro.api.registry`, so each
+algorithm is also reachable by name through ``repro.api.run_experiment``.
 """
 
 from repro.optim.admm import AsyncADMM, SyncADMM
 from repro.optim.asaga import AsyncSAGA
 from repro.optim.asgd import AsyncSGD
 from repro.optim.base import OptimizerConfig, RunResult
+from repro.optim.loop import ServerLoop, UpdateRule
 from repro.optim.problems import (
     LeastSquaresProblem,
     LogisticRegressionProblem,
@@ -47,6 +54,8 @@ __all__ = [
     "OptimizerConfig",
     "RunResult",
     "ConvergenceTrace",
+    "ServerLoop",
+    "UpdateRule",
     "SyncSGD",
     "AsyncSGD",
     "SyncSAGA",

@@ -28,18 +28,19 @@ from __future__ import annotations
 import numpy as np
 from scipy import linalg as sp_linalg
 from scipy import sparse
-from scipy.sparse import linalg as sp_sparse_linalg
 
+from repro.api.registry import register_optimizer
 from repro.core.barriers import ASP
-from repro.core.context import ASYNCContext
+from repro.core.ops import find_barrier
 from repro.data.blocks import MatrixBlock
 from repro.engine.taskcontext import current_env, record_cost
 from repro.errors import OptimError
 from repro.optim.base import DistributedOptimizer, RunResult, bc_value
+from repro.optim.loop import ServerLoop, UpdateRule
 from repro.optim.problems import LeastSquaresProblem
 from repro.optim.trace import ConvergenceTrace
 
-__all__ = ["SyncADMM", "AsyncADMM"]
+__all__ = ["SyncADMM", "AsyncADMM", "ADMMRule"]
 
 
 def _solve_local(block: MatrixBlock, rho: float, rhs: np.ndarray,
@@ -122,6 +123,7 @@ class _ADMMBase(DistributedOptimizer):
             trace.record(self.ctx.now(), updates, z)
 
 
+@register_optimizer("admm")
 class SyncADMM(_ADMMBase):
     """Bulk-synchronous consensus ADMM (one z-update per round)."""
 
@@ -161,6 +163,54 @@ class SyncADMM(_ADMMBase):
         )
 
 
+class ADMMRule(UpdateRule):
+    """Consensus ADMM on the async driver: slot updates, no step schedule.
+
+    ADMM dispatches *worker-level* tasks (each worker solves its local
+    subproblems and returns one summed contribution), so the rule replaces
+    the default block-level ``dispatch`` with a direct scheduler round.
+    """
+
+    needs_alpha = False  # the z-update is a mean, not a gradient step
+
+    def bind(self, loop):
+        super().bind(loop)
+        opt = self.opt
+        self.num_parts = opt.points.num_partitions
+        # Server-side slots: latest (x_i + u_i) per partition.
+        self.slots = np.zeros((self.num_parts, opt.problem.dim))
+
+    def publish(self, z):
+        return self.opt.ctx.broadcast(np.array(z, copy=True))
+
+    def dispatch(self, handle, seed):
+        opt, ac = self.opt, self.loop.ac
+        gated = opt.points.async_barrier(opt.barrier, ac.stat)
+        # Dispatch one locally-reducing ADMM task per eligible worker.
+        ac.scheduler.submit_round(
+            gated,
+            lambda w, splits, _z=handle: opt._worker_update_fn(_z, w, splits),
+            find_barrier(gated) or opt.barrier,
+        )
+
+    def apply(self, z, record, alpha):
+        # The scheduler unpacks the task's (value, count) contract:
+        # value is the summed x_i + u_i, batch_size the partitions.
+        total = record.value
+        count = record.batch_size
+        if count == 0:
+            return None
+        my_parts = self.opt.ctx.partitions_of(record.worker_id, self.num_parts)
+        # The task summed its partitions' contributions; spread the
+        # mean into each owned slot (they share a worker anyway).
+        self.slots[my_parts] = total / count
+        return self.slots.mean(axis=0)
+
+    def extras(self):
+        return {"rho": self.opt.rho}
+
+
+@register_optimizer("aadmm")
 class AsyncADMM(_ADMMBase):
     """Asynchronous consensus ADMM with per-worker slot updates.
 
@@ -170,6 +220,7 @@ class AsyncADMM(_ADMMBase):
     """
 
     name = "aadmm"
+    is_async = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -177,71 +228,4 @@ class AsyncADMM(_ADMMBase):
             self.barrier = ASP()
 
     def run(self) -> RunResult:
-        cfg = self.config
-        problem = self.problem
-        ac = ASYNCContext(
-            self.ctx, default_barrier=self.barrier,
-            pipeline_depth=cfg.pipeline_depth,
-        )
-        z = problem.initial_point()
-        num_parts = self.points.num_partitions
-        # Server-side slots: latest (x_i + u_i) per partition.
-        slots = np.zeros((num_parts, problem.dim))
-        trace = ConvergenceTrace()
-        trace.record(self.ctx.now(), 0, z)
-        metrics_start = len(self.ctx.dispatcher.metrics_log)
-
-        updates = 0
-        rounds = 0
-
-        def apply(record) -> None:
-            nonlocal z, updates
-            if updates >= cfg.max_updates:
-                return
-            # The scheduler unpacks the task's (value, count) contract:
-            # value is the summed x_i + u_i, batch_size the partitions.
-            total = record.value
-            count = record.batch_size
-            if count == 0:
-                return
-            worker = record.worker_id
-            my_parts = self.ctx.partitions_of(worker, num_parts)
-            # The task summed its partitions' contributions; spread the
-            # mean into each owned slot (they share a worker anyway).
-            slots[my_parts] = total / count
-            z = slots.mean(axis=0)
-            updates += 1
-            ac.model_updated()
-            self._objective_snapshot(trace, updates, z)
-
-        while not self._should_stop(updates):
-            z_br = self.ctx.broadcast(np.array(z, copy=True))
-            gated = self.points.async_barrier(self.barrier, ac.stat)
-            # Dispatch one locally-reducing ADMM task per eligible worker.
-            policy = self.barrier
-            from repro.core.ops import find_barrier
-
-            ac.scheduler.submit_round(
-                gated,
-                lambda w, splits, _z=z_br: self._worker_update_fn(
-                    _z, w, splits
-                ),
-                find_barrier(gated) or policy,
-            )
-            rounds += 1
-            if ac.has_next(block=True):
-                apply(ac.collect_all(block=True))
-            while ac.has_next(block=False):
-                apply(ac.collect_all(block=False))
-
-        end_ms = self.ctx.now()
-        if trace.updates[-1] != updates:
-            trace.record(end_ms, updates, z)
-        ac.wait_all()
-        ac.drain()
-        return RunResult(
-            w=z, trace=trace, updates=updates, elapsed_ms=end_ms,
-            rounds=rounds, algorithm=self.name,
-            metrics=self._metrics_window(metrics_start),
-            extras={"rho": self.rho, "lost_tasks": ac.lost_tasks},
-        )
+        return ServerLoop(self, ADMMRule()).run()

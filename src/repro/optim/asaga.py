@@ -6,34 +6,87 @@ recomputes historical gradients from its *local* version cache (the
 ASYNCbroadcaster means only ids travel), and the server applies one SAGA
 update per collected result. ``averageHistory`` is maintained server-side
 exactly as in the paper's Algorithm 4 line 8.
+
+The async driver is the shared :class:`repro.optim.loop.ServerLoop`;
+:class:`ASAGARule` contributes SAGA's history bookkeeping.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_optimizer
 from repro.core.barriers import ASP
-from repro.core.context import ASYNCContext
 from repro.optim.base import DistributedOptimizer, RunResult
+from repro.optim.loop import ServerLoop, UpdateRule
+from repro.optim.reducers import add_triples
 from repro.optim.saga import (
     BroadcastMode,
     SagaState,
     initialize_history,
     saga_partition_kernel,
 )
-from repro.optim.trace import ConvergenceTrace
 
-__all__ = ["AsyncSAGA"]
-
-
-def _add_triples(a, b):
-    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+__all__ = ["AsyncSAGA", "ASAGARule"]
 
 
+class ASAGARule(UpdateRule):
+    """SAGA mathematics on the async driver: history handles + avg table."""
+
+    #: Historical convention: ASAGA's first sampling round used seed index 1.
+    seed_offset = 1
+
+    def __init__(self, mode: BroadcastMode = "history") -> None:
+        self.mode = mode
+
+    def bind(self, loop):
+        super().bind(loop)
+        self.state = SagaState(self.opt.ctx, self.opt.problem, self.mode)
+
+    def setup(self, w):
+        # Synchronous initialization pass (phi_j = w_0), shared with SAGA.
+        initialize_history(self.opt, self.state, w)
+
+    def publish(self, w):
+        return self.state.publish(w)
+
+    def kernel(self, block, handle, seed):
+        return saga_partition_kernel(
+            self.opt.problem,
+            block,
+            handle,
+            self.state.versions_key(block.block_id),
+            self.opt.config.batch_fraction,
+            seed,
+        )
+
+    reduce = staticmethod(add_triples)
+
+    def apply(self, w, record, alpha):
+        g_new, g_old, count = record.value
+        if count == 0:
+            return None
+        return self.state.apply_update(
+            w, alpha, g_new, g_old, count, self.opt.n_total
+        )
+
+    def algorithm_label(self):
+        return f"{self.opt.name}[{self.mode}]"
+
+    def extras(self):
+        return {
+            "mode": self.mode,
+            "naive_broadcast_bytes": self.state.naive_broadcast_bytes,
+            "avg_hist_norm": float(np.linalg.norm(self.state.avg_hist)),
+        }
+
+
+@register_optimizer("asaga")
 class AsyncSAGA(DistributedOptimizer):
     """Asynchronous SAGA with history broadcast."""
 
     name = "asaga"
+    is_async = True
 
     def __init__(self, *args, mode: BroadcastMode = "history", **kwargs):
         super().__init__(*args, **kwargs)
@@ -42,90 +95,4 @@ class AsyncSAGA(DistributedOptimizer):
             self.barrier = ASP()
 
     def run(self) -> RunResult:
-        cfg = self.config
-        problem = self.problem
-        ac = ASYNCContext(
-            self.ctx, default_barrier=self.barrier,
-            pipeline_depth=cfg.pipeline_depth,
-        )
-        state = SagaState(self.ctx, problem, self.mode)
-        w = problem.initial_point()
-        trace = ConvergenceTrace()
-        trace.record(self.ctx.now(), 0, w)
-
-        # Synchronous initialization pass (phi_j = w_0), shared with SAGA.
-        initialize_history(self, state, w)
-        # Wait-time accounting starts after the setup pass: the paper's
-        # metric is "average wait time per iteration".
-        metrics_start = len(self.ctx.dispatcher.metrics_log)
-
-        updates = 0
-        rounds = 0
-
-        def apply(record) -> None:
-            nonlocal w, updates
-            if updates >= cfg.max_updates:
-                return  # budget exhausted; drop late results
-            g_new, g_old, count = record.value
-            if count == 0:
-                return
-            updates += 1
-            alpha = self.step.alpha(
-                self._step_index(updates), record.staleness
-            )
-            w_new = state.apply_update(
-                w, alpha, g_new, g_old, count, self.n_total
-            )
-            w = w_new
-            ac.model_updated()
-            if updates % cfg.eval_every == 0:
-                trace.record(self.ctx.now(), updates, w)
-
-        while not self._should_stop(updates):
-            handle = state.publish(w)
-            seed = self._round_seed(rounds + 1)
-
-            def kernel(block, _handle=handle, _seed=seed):
-                return saga_partition_kernel(
-                    problem,
-                    block,
-                    _handle,
-                    state.versions_key(block.block_id),
-                    cfg.batch_fraction,
-                    _seed,
-                )
-
-            (
-                self.points
-                .async_barrier(self.barrier, ac.stat)
-                .map(kernel)
-                .async_reduce(_add_triples, ac)
-            )
-            rounds += 1
-
-            if ac.has_next(block=True):
-                apply(ac.collect_all(block=True))
-            while ac.has_next(block=False):
-                apply(ac.collect_all(block=False))
-
-        end_ms = self.ctx.now()
-        if trace.updates[-1] != updates:
-            trace.record(end_ms, updates, w)
-        ac.wait_all()
-        ac.drain()
-
-        return RunResult(
-            w=w,
-            trace=trace,
-            updates=updates,
-            elapsed_ms=end_ms,
-            rounds=rounds,
-            algorithm=f"{self.name}[{self.mode}]",
-            metrics=self._metrics_window(metrics_start),
-            extras={
-                "mode": self.mode,
-                "lost_tasks": ac.lost_tasks,
-                "naive_broadcast_bytes": state.naive_broadcast_bytes,
-                "avg_hist_norm": float(np.linalg.norm(state.avg_hist)),
-            },
-        )
+        return ServerLoop(self, ASAGARule(self.mode)).run()

@@ -10,26 +10,56 @@ a staleness-adaptive step size, Listing 1).
 Matching the paper's tuning heuristic, callers usually pass
 ``step.scaled_for_async(num_workers)`` — each result updates the model
 alone rather than as part of a P-way average.
+
+The driver itself lives in :class:`repro.optim.loop.ServerLoop`; this
+module contributes only :class:`ASGDRule` — the canonical example of how
+little an asynchronous algorithm needs to specify.
 """
 
 from __future__ import annotations
 
+from repro.api.registry import register_optimizer
 from repro.core.barriers import ASP
-from repro.core.context import ASYNCContext
 from repro.optim.base import DistributedOptimizer, RunResult, bc_value
-from repro.optim.trace import ConvergenceTrace
+from repro.optim.loop import ServerLoop, UpdateRule
+from repro.optim.reducers import add_pairs
 
-__all__ = ["AsyncSGD"]
-
-
-def _add_pairs(a, b):
-    return (a[0] + b[0], a[1] + b[1])
+__all__ = ["AsyncSGD", "ASGDRule"]
 
 
+class ASGDRule(UpdateRule):
+    """ASGD mathematics: gradient partials in, one SGD step per result."""
+
+    def publish(self, w):
+        return self.opt.ctx.broadcast(w)
+
+    def sample_fraction(self):
+        return self.opt.config.batch_fraction
+
+    def kernel(self, block, handle, seed):
+        problem = self.opt.problem
+        return (
+            problem.grad_sum(block.X, block.y, bc_value(handle)),
+            block.rows,
+        )
+
+    reduce = staticmethod(add_pairs)
+
+    def apply(self, w, record, alpha):
+        g_sum, count = record.value
+        if count == 0:
+            return None
+        problem = self.opt.problem
+        g = (g_sum + problem.reg_grad(w, count)) / count
+        return w - alpha * g
+
+
+@register_optimizer("asgd")
 class AsyncSGD(DistributedOptimizer):
     """ASGD: one model update per collected worker result."""
 
     name = "asgd"
+    is_async = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -37,81 +67,4 @@ class AsyncSGD(DistributedOptimizer):
             self.barrier = ASP()
 
     def run(self) -> RunResult:
-        cfg = self.config
-        problem = self.problem
-        ac = ASYNCContext(
-            self.ctx, default_barrier=self.barrier,
-            pipeline_depth=cfg.pipeline_depth,
-        )
-        w = problem.initial_point()
-        trace = ConvergenceTrace()
-        trace.record(self.ctx.now(), 0, w)
-        metrics_start = len(self.ctx.dispatcher.metrics_log)
-
-        updates = 0
-        rounds = 0
-
-        def apply(record) -> None:
-            nonlocal w, updates
-            if updates >= cfg.max_updates:
-                return  # budget exhausted; drop late results
-            g_sum, count = record.value
-            if count == 0:
-                return
-            g = (g_sum + problem.reg_grad(w, count)) / count
-            updates += 1
-            alpha = self.step.alpha(self._step_index(updates), record.staleness)
-            w = w - alpha * g
-            ac.model_updated()
-            if updates % cfg.eval_every == 0:
-                trace.record(self.ctx.now(), updates, w)
-
-        while not self._should_stop(updates):
-            # Broadcast the current model and dispatch to whoever the
-            # barrier admits (Algorithm 2 lines 3-4).
-            w_br = self.ctx.broadcast(w)
-            batch = (
-                self.points
-                .async_barrier(self.barrier, ac.stat)
-                .sample(cfg.batch_fraction, seed=self._round_seed(rounds))
-            )
-            batch.map(
-                lambda blk, _w_br=w_br: (
-                    problem.grad_sum(blk.X, blk.y, bc_value(_w_br)),
-                    blk.rows,
-                )
-            ).async_reduce(_add_pairs, ac)
-            rounds += 1
-
-            # Apply at least one result (advancing cluster time), then
-            # drain whatever else arrived (Algorithm 2 lines 5-8).
-            if ac.has_next(block=True):
-                apply(ac.collect_all(block=True))
-            while ac.has_next(block=False):
-                apply(ac.collect_all(block=False))
-
-        end_ms = self.ctx.now()
-        if trace.updates[-1] != updates:
-            trace.record(end_ms, updates, w)
-
-        # Stragglers may still hold tasks; let them land (their updates
-        # are not applied — the run is over) so the context ends clean.
-        ac.wait_all()
-        ac.drain()
-
-        return RunResult(
-            w=w,
-            trace=trace,
-            updates=updates,
-            elapsed_ms=end_ms,
-            rounds=rounds,
-            algorithm=self.name,
-            metrics=self._metrics_window(metrics_start),
-            extras={
-                "lost_tasks": ac.lost_tasks,
-                "collected": ac.collected,
-                "max_staleness_seen": max(
-                    (ws.last_staleness for ws in ac.stat), default=0
-                ),
-            },
-        )
+        return ServerLoop(self, ASGDRule()).run()

@@ -88,7 +88,22 @@ class OptimizerConfig:
 
 @dataclass
 class RunResult:
-    """Everything a benchmark needs from one optimization run."""
+    """Everything a benchmark needs from one optimization run.
+
+    ``extras`` carries per-algorithm diagnostics under a common schema.
+    Every *asynchronous* optimizer (the :class:`~repro.optim.loop.ServerLoop`
+    guarantees this) reports at least:
+
+    - ``lost_tasks`` — tasks dropped to worker failure,
+    - ``collected`` — results the server consumed (>= ``updates``; late
+      results past the budget are collected but not applied),
+    - ``max_staleness_seen`` — worst model-version lag among applied
+      results.
+
+    Algorithms append their own keys (``mode``, ``naive_broadcast_bytes``
+    and ``avg_hist_norm`` for SAGA variants, ``epochs`` for SVRG, ``rho``
+    for ADMM).
+    """
 
     w: np.ndarray
     trace: ConvergenceTrace
@@ -108,6 +123,9 @@ class DistributedOptimizer:
     """Base driver: owns the context, data RDD, problem and schedule."""
 
     name = "base"
+    #: Whether ``run()`` drives the asynchronous server loop. The spec
+    #: layer uses this to decide default barriers and step scaling.
+    is_async = False
 
     def __init__(
         self,

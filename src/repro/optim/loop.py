@@ -1,0 +1,218 @@
+"""The composable asynchronous server loop (the paper's Algorithm 2 shape).
+
+Every asynchronous optimizer in this library runs the same driver:
+
+1. publish the current model (broadcast),
+2. let the barrier decide whom to dispatch to, submit one worker-local
+   reduction round,
+3. collect at least one result (advancing cluster time), drain the rest,
+4. apply one model update per collected result — budget-gated, with a
+   staleness-aware step size — and snapshot the trace,
+5. on exit, let straggling tasks land so the context ends clean.
+
+:class:`ServerLoop` owns that skeleton once; an algorithm contributes only
+an :class:`UpdateRule` — the mathematics that distinguishes it:
+
+======================  ========================================================
+hook                    role
+======================  ========================================================
+``publish(w)``          ship the model; returns the handle tasks will read
+``kernel(block, h, s)`` worker-side computation over one data block
+``reduce(a, b)``        combine two worker-local partials
+``apply(w, rec, a)``    server-side update; ``None`` skips (e.g. empty batch)
+``setup(w)``            once, before the metrics window opens (e.g. SAGA init)
+``begin_epoch(w)``      epoch boundary work for ``epoch_length`` rules (SVRG)
+``dispatch(h, seed)``   override the whole submission round (ADMM)
+``extras()``            algorithm-specific entries merged into RunResult.extras
+======================  ========================================================
+
+This factoring is what makes "sync -> async in a few extra lines" literal:
+a new asynchronous method is one UpdateRule, not a re-implementation of
+the driver. See :class:`repro.optim.asgd.ASGDRule` for the canonical
+~30-line example.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.context import ASYNCContext
+from repro.optim.trace import ConvergenceTrace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.records import TaskResultRecord
+    from repro.optim.base import DistributedOptimizer, RunResult
+
+__all__ = ["UpdateRule", "ServerLoop"]
+
+
+class UpdateRule:
+    """Algorithm-specific hooks plugged into a :class:`ServerLoop`.
+
+    A rule is bound to its host optimizer (for the problem, step schedule,
+    config and engine handles) via :meth:`bind` before the loop starts.
+    """
+
+    #: Offset added to the round counter when deriving the per-round seed
+    #: (historical per-algorithm conventions; changing it changes sampling).
+    seed_offset = 0
+    #: Rounds between epoch boundaries; ``None`` means no epoch structure.
+    epoch_length: int | None = None
+    #: Whether the loop should evaluate the step schedule per result.
+    needs_alpha = True
+
+    def bind(self, loop: "ServerLoop") -> None:
+        self.loop = loop
+        self.opt = loop.opt
+
+    # -- once-per-run hooks ------------------------------------------------------------
+    def initial_point(self):
+        return self.opt.problem.initial_point()
+
+    def setup(self, w) -> None:
+        """Pre-loop work, excluded from the run's metrics window."""
+
+    def begin_epoch(self, w) -> None:
+        """Epoch-boundary work for rules with ``epoch_length`` set."""
+
+    # -- per-round hooks ---------------------------------------------------------------
+    def round_seed(self, rounds: int) -> int:
+        return self.opt._round_seed(rounds + self.seed_offset)
+
+    def publish(self, w) -> Any:
+        """Broadcast the model; the return value is the kernel's handle."""
+        raise NotImplementedError
+
+    def sample_fraction(self) -> float | None:
+        """RDD-level mini-batch fraction; ``None`` if the kernel samples."""
+        return None
+
+    def kernel(self, block, handle, seed: int):
+        """Worker-side computation for one data block."""
+        raise NotImplementedError
+
+    def reduce(self, a, b):
+        """Combine two worker-local partial results."""
+        raise NotImplementedError
+
+    def dispatch(self, handle, seed: int) -> None:
+        """Submit one asynchronous round (barrier -> sample -> map -> reduce)."""
+        opt = self.opt
+        gated = opt.points.async_barrier(opt.barrier, self.loop.ac.stat)
+        frac = self.sample_fraction()
+        if frac is not None:
+            gated = gated.sample(frac, seed=seed)
+        gated.map(
+            lambda block, _h=handle, _s=seed: self.kernel(block, _h, _s)
+        ).async_reduce(self.reduce, self.loop.ac)
+
+    # -- per-result hook ---------------------------------------------------------------
+    def apply(self, w, record: "TaskResultRecord", alpha: float | None):
+        """One server-side model update; return the new ``w``.
+
+        Returning ``None`` rejects the result (empty batch); the loop then
+        neither counts an update nor advances the model version.
+        """
+        raise NotImplementedError
+
+    # -- reporting ---------------------------------------------------------------------
+    def algorithm_label(self) -> str:
+        return self.opt.name
+
+    def extras(self) -> dict:
+        """Algorithm-specific entries merged into ``RunResult.extras``."""
+        return {}
+
+
+class ServerLoop:
+    """Owns the asynchronous driver; delegates mathematics to the rule."""
+
+    def __init__(self, opt: "DistributedOptimizer", rule: UpdateRule) -> None:
+        self.opt = opt
+        self.rule = rule
+        self.ac = ASYNCContext(
+            opt.ctx,
+            default_barrier=opt.barrier,
+            pipeline_depth=opt.config.pipeline_depth,
+        )
+
+    def run(self) -> "RunResult":
+        from repro.optim.base import RunResult
+
+        opt, rule, ac = self.opt, self.rule, self.ac
+        cfg = opt.config
+        rule.bind(self)
+
+        w = rule.initial_point()
+        trace = ConvergenceTrace()
+        trace.record(opt.ctx.now(), 0, w)
+        rule.setup(w)
+        # The paper's wait-time metric is per *iteration*: the window opens
+        # after any setup pass (e.g. SAGA's synchronous initialization).
+        metrics_start = len(opt.ctx.dispatcher.metrics_log)
+
+        updates = 0
+        rounds = 0
+        epoch_rounds_left = 0
+
+        def apply_one(record) -> None:
+            nonlocal w, updates
+            if updates >= cfg.max_updates:
+                return  # budget exhausted; drop late results
+            t = updates + 1
+            alpha = (
+                opt.step.alpha(opt._step_index(t), record.staleness)
+                if rule.needs_alpha else None
+            )
+            w_new = rule.apply(w, record, alpha)
+            if w_new is None:
+                return  # rejected (e.g. empty mini-batch)
+            w = w_new
+            updates = t
+            ac.model_updated()
+            if updates % cfg.eval_every == 0:
+                trace.record(opt.ctx.now(), updates, w)
+
+        while not opt._should_stop(updates):
+            if rule.epoch_length is not None and epoch_rounds_left == 0:
+                rule.begin_epoch(w)
+                epoch_rounds_left = rule.epoch_length
+            seed = rule.round_seed(rounds)
+            handle = rule.publish(w)
+            rule.dispatch(handle, seed)
+            rounds += 1
+            epoch_rounds_left -= 1
+
+            # Apply at least one result (advancing cluster time), then
+            # drain whatever else arrived (Algorithm 2 lines 5-8).
+            if ac.has_next(block=True):
+                apply_one(ac.collect_all(block=True))
+            while ac.has_next(block=False):
+                apply_one(ac.collect_all(block=False))
+
+        end_ms = opt.ctx.now()
+        if trace.updates[-1] != updates:
+            trace.record(end_ms, updates, w)
+
+        # Stragglers may still hold tasks; let them land (their updates
+        # are not applied — the run is over) so the context ends clean.
+        ac.wait_all()
+        ac.drain()
+
+        return RunResult(
+            w=w,
+            trace=trace,
+            updates=updates,
+            elapsed_ms=end_ms,
+            rounds=rounds,
+            algorithm=rule.algorithm_label(),
+            metrics=opt._metrics_window(metrics_start),
+            extras={
+                "lost_tasks": ac.lost_tasks,
+                "collected": ac.collected,
+                "max_staleness_seen": max(
+                    (ws.last_staleness for ws in ac.stat), default=0
+                ),
+                **rule.extras(),
+            },
+        )

@@ -22,6 +22,7 @@ import numpy as np
 from scipy import sparse
 from scipy import optimize as sp_optimize
 
+from repro.api.registry import register_problem
 from repro.errors import OptimError
 
 __all__ = [
@@ -112,6 +113,7 @@ class Problem(ABC):
         return max(self.objective(w) - self.f_star, 0.0)
 
 
+@register_problem("least_squares", aliases=("ls",))
 class LeastSquaresProblem(Problem):
     """``f_j(w) = (x_j^T w - y_j)^2`` — the paper's evaluation problem.
 
@@ -144,6 +146,7 @@ class LeastSquaresProblem(Problem):
             return np.linalg.lstsq(gram, rhs, rcond=None)[0]
 
 
+@register_problem("ridge")
 class RidgeProblem(LeastSquaresProblem):
     """Least squares with an explicit ridge term (lam > 0 required)."""
 
@@ -153,6 +156,7 @@ class RidgeProblem(LeastSquaresProblem):
         super().__init__(X, y, lam=lam)
 
 
+@register_problem("logistic")
 class LogisticRegressionProblem(Problem):
     """``f_j(w) = log(1 + exp(-y_j x_j^T w))`` with labels in {-1, +1}."""
 

@@ -32,6 +32,7 @@ from typing import Any, Literal
 
 import numpy as np
 
+from repro.api.registry import register_optimizer
 from repro.core.broadcaster import AsyncBroadcaster
 from repro.data.blocks import MatrixBlock
 from repro.engine.taskcontext import current_env, record_cost
@@ -217,6 +218,7 @@ def initialize_history(
     state.avg_hist = sum(parts) / opt.n_total
 
 
+@register_optimizer("saga")
 class SyncSAGA(DistributedOptimizer):
     """Bulk-synchronous SAGA with pluggable broadcast strategy."""
 

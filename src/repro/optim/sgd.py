@@ -9,6 +9,7 @@ time, which is exactly why stragglers hurt (Figures 3-8, "Sync" lines).
 
 from __future__ import annotations
 
+from repro.api.registry import register_optimizer
 from repro.data.blocks import MatrixBlock
 from repro.optim.base import DistributedOptimizer, RunResult, bc_value
 from repro.optim.trace import ConvergenceTrace
@@ -16,6 +17,7 @@ from repro.optim.trace import ConvergenceTrace
 __all__ = ["SyncSGD"]
 
 
+@register_optimizer("sgd")
 class SyncSGD(DistributedOptimizer):
     """Bulk-synchronous distributed mini-batch SGD."""
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+from repro.api.registry import STEPS, register_step
 from repro.errors import OptimError
 
 __all__ = [
@@ -45,6 +46,7 @@ class StepSchedule(ABC):
         return type(self).__name__
 
 
+@register_step("constant")
 class ConstantStep(StepSchedule):
     """Fixed step (the paper's SAGA tuning)."""
 
@@ -60,6 +62,7 @@ class ConstantStep(StepSchedule):
         return f"Constant(a={self.a})"
 
 
+@register_step("inv_sqrt")
 class InvSqrtDecay(StepSchedule):
     """MLlib's ``a / sqrt(t)`` decay (the paper's SGD tuning)."""
 
@@ -77,6 +80,7 @@ class InvSqrtDecay(StepSchedule):
         return f"InvSqrt(a={self.a})"
 
 
+@register_step("poly")
 class PolyDecay(StepSchedule):
     """``a / (b + c t)`` — the classical Robbins-Monro family (Section 2)."""
 
@@ -125,3 +129,31 @@ class _Scaled(StepSchedule):
 
     def describe(self) -> str:
         return f"{self.inner.describe()} x {self.factor:g}"
+
+
+# -- spec-layer wrapper factories --------------------------------------------------
+# Wrapper schedules compose: their ``inner`` parameter is itself a step
+# spec ("inv_sqrt:0.5", {"name": "poly", "a": 1.0}, or an instance), so
+# JSON specs can nest modulations the way code chains methods. Every
+# wrapper accepts ``num_workers`` so the registry's context injection
+# reaches nested specs (an inner "scaled_for_async" needs it even when
+# the outer wrapper does not).
+
+def _resolve(inner, num_workers: int | None = None) -> StepSchedule:
+    defaults = {} if num_workers is None else {"num_workers": num_workers}
+    return STEPS.create(inner, defaults=defaults, expect=StepSchedule)
+
+
+@register_step("staleness_scaled")
+def _staleness_scaled(inner, num_workers: int | None = None) -> StepSchedule:
+    return StalenessScaled(_resolve(inner, num_workers))
+
+
+@register_step("scaled")
+def _scaled(inner, factor: float, num_workers: int | None = None) -> StepSchedule:
+    return _resolve(inner, num_workers).scaled(factor)
+
+
+@register_step("scaled_for_async")
+def _scaled_for_async(inner, num_workers: int) -> StepSchedule:
+    return _resolve(inner, num_workers).scaled_for_async(num_workers)

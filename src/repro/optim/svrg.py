@@ -9,26 +9,26 @@ mini-batch iterations with the variance-reduced direction
 — synchronously (SyncSVRG) or through the ASYNC layer (AsyncSVRG), where
 asynchronous updates happen *between* the epoch barriers. This is the
 class of algorithms [29, 56, 71] the paper says ASYNC supports by mixing
-its async primitives with Spark's synchronous reductions.
+its async primitives with Spark's synchronous reductions. The async
+variant demonstrates :class:`repro.optim.loop.ServerLoop`'s epoch hooks:
+``begin_epoch`` drains in-flight work and takes the synchronous pass.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import register_optimizer
 from repro.core.barriers import ASP
-from repro.core.context import ASYNCContext
 from repro.data.blocks import MatrixBlock
 from repro.engine.taskcontext import record_cost
 from repro.errors import OptimError
-from repro.optim.base import DistributedOptimizer, OptimizerConfig, RunResult, bc_value
+from repro.optim.base import DistributedOptimizer, RunResult, bc_value
+from repro.optim.loop import ServerLoop, UpdateRule
+from repro.optim.reducers import add_vr_pairs
 from repro.optim.trace import ConvergenceTrace
 
-__all__ = ["SyncSVRG", "AsyncSVRG"]
-
-
-def _add_pairs(a, b):
-    return (a[0] + b[0], a[1] + b[1])
+__all__ = ["SyncSVRG", "AsyncSVRG", "ASVRGRule"]
 
 
 class _SVRGBase(DistributedOptimizer):
@@ -65,6 +65,7 @@ class _SVRGBase(DistributedOptimizer):
         return g
 
 
+@register_optimizer("svrg")
 class SyncSVRG(_SVRGBase):
     """Synchronous SVRG (Johnson & Zhang) on the BSP path."""
 
@@ -127,10 +128,64 @@ class SyncSVRG(_SVRGBase):
         )
 
 
+class ASVRGRule(UpdateRule):
+    """SVRG's inner loop as an update rule; epochs via ``begin_epoch``."""
+
+    seed_offset = 1
+
+    def __init__(self, inner_iterations: int) -> None:
+        self.epoch_length = inner_iterations
+        self.epochs = 0
+
+    def begin_epoch(self, w):
+        # Epoch barrier: wait out in-flight inner tasks, then the
+        # synchronous full-gradient reduction.
+        opt, ac = self.opt, self.loop.ac
+        ac.wait_all()
+        ac.drain()
+        opt._w_tilde = np.array(w, copy=True)
+        self.mu = opt._full_gradient(opt._w_tilde)
+        self.wt_br = opt.ctx.broadcast(opt._w_tilde)
+        self.epochs += 1
+
+    def publish(self, w):
+        return self.opt.ctx.broadcast(w)
+
+    def sample_fraction(self):
+        return self.opt.config.batch_fraction
+
+    def kernel(self, block, handle, seed):
+        # Second gradient pass (at w_tilde) costs another sweep over the
+        # batch.
+        problem = self.opt.problem
+        record_cost(block.cost_units())
+        return (
+            (
+                problem.grad_sum(block.X, block.y, bc_value(handle)),
+                problem.grad_sum(block.X, block.y, bc_value(self.wt_br)),
+            ),
+            block.rows,
+        )
+
+    reduce = staticmethod(add_vr_pairs)
+
+    def apply(self, w, record, alpha):
+        (g_sum, h_sum), count = record.value
+        if count == 0:
+            return None
+        g = self.opt._vr_direction(g_sum, h_sum, count, self.mu, w)
+        return w - alpha * g
+
+    def extras(self):
+        return {"epochs": self.epochs}
+
+
+@register_optimizer("asvrg")
 class AsyncSVRG(_SVRGBase):
     """SVRG with an asynchronous inner loop (Listing 3)."""
 
     name = "asvrg"
+    is_async = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -138,85 +193,4 @@ class AsyncSVRG(_SVRGBase):
             self.barrier = ASP()
 
     def run(self) -> RunResult:
-        cfg = self.config
-        problem = self.problem
-        ac = ASYNCContext(
-            self.ctx, default_barrier=self.barrier,
-            pipeline_depth=cfg.pipeline_depth,
-        )
-        w = problem.initial_point()
-        trace = ConvergenceTrace()
-        trace.record(self.ctx.now(), 0, w)
-        metrics_start = len(self.ctx.dispatcher.metrics_log)
-
-        updates = 0
-        epoch = 0
-        rounds = 0
-        while not self._should_stop(updates):
-            # Epoch barrier: wait out in-flight inner tasks, then the
-            # synchronous full-gradient reduction.
-            ac.wait_all()
-            ac.drain()
-            self._w_tilde = np.array(w, copy=True)
-            mu = self._full_gradient(self._w_tilde)
-            wt_br = self.ctx.broadcast(self._w_tilde)
-            epoch += 1
-
-            def apply(record) -> None:
-                nonlocal w, updates
-                if updates >= cfg.max_updates:
-                    return  # budget exhausted; drop late results
-                (g_sum, h_sum), count = record.value
-                if count == 0:
-                    return
-                updates += 1
-                g = self._vr_direction(g_sum, h_sum, count, mu, w)
-                alpha = self.step.alpha(
-                    self._step_index(updates), record.staleness
-                )
-                w = w - alpha * g
-                ac.model_updated()
-                if updates % cfg.eval_every == 0:
-                    trace.record(self.ctx.now(), updates, w)
-
-            inner = 0
-            while inner < self.inner_iterations and not self._should_stop(updates):
-                w_br = self.ctx.broadcast(w)
-                batch = (
-                    self.points
-                    .async_barrier(self.barrier, ac.stat)
-                    .sample(cfg.batch_fraction, seed=self._round_seed(rounds + 1))
-                )
-                def kernel(blk, _w=w_br, _wt=wt_br):
-                    # Second gradient pass (at w_tilde) costs another
-                    # sweep over the batch.
-                    record_cost(blk.cost_units())
-                    return (
-                        (
-                            problem.grad_sum(blk.X, blk.y, bc_value(_w)),
-                            problem.grad_sum(blk.X, blk.y, bc_value(_wt)),
-                        ),
-                        blk.rows,
-                    )
-
-                batch.map(kernel).async_reduce(
-                    lambda a, b: (_add_pairs(a[0], b[0]), a[1] + b[1]), ac
-                )
-                rounds += 1
-                inner += 1
-                if ac.has_next(block=True):
-                    apply(ac.collect_all(block=True))
-                while ac.has_next(block=False):
-                    apply(ac.collect_all(block=False))
-
-        end_ms = self.ctx.now()
-        if trace.updates[-1] != updates:
-            trace.record(end_ms, updates, w)
-        ac.wait_all()
-        ac.drain()
-        return RunResult(
-            w=w, trace=trace, updates=updates, elapsed_ms=end_ms,
-            rounds=rounds, algorithm=self.name,
-            metrics=self._metrics_window(metrics_start),
-            extras={"epochs": epoch, "lost_tasks": ac.lost_tasks},
-        )
+        return ServerLoop(self, ASVRGRule(self.inner_iterations)).run()

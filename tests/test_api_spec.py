@@ -1,0 +1,131 @@
+"""ExperimentSpec / GridSpec: round-trips, validation, expansion."""
+
+import json
+import math
+
+import pytest
+
+from repro.api.spec import ExperimentSpec, GridSpec
+from repro.errors import ApiError
+
+
+def test_spec_dict_round_trip():
+    spec = ExperimentSpec(
+        algorithm="asaga", dataset="rcv1_like", num_workers=8,
+        barrier="ssp:4", delay={"name": "cds", "intensity": 0.6},
+        step={"name": "constant", "a": 0.05}, max_updates=64,
+        params={"mode": "naive"},
+    )
+    assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_spec_json_round_trip_handles_infinity():
+    spec = ExperimentSpec(max_time_ms=None)
+    text = spec.to_json()
+    assert "Infinity" not in text
+    again = ExperimentSpec.from_json(text)
+    assert again == spec
+    # explicit float budgets survive too
+    bounded = ExperimentSpec(max_time_ms=125.0)
+    assert ExperimentSpec.from_json(bounded.to_json()).max_time_ms == 125.0
+    # a spec built with +inf serializes to null rather than bare Infinity
+    inf_spec = ExperimentSpec(max_time_ms=math.inf)
+    assert json.loads(inf_spec.to_json())["max_time_ms"] is None
+
+
+def test_spec_rejects_unknown_fields():
+    with pytest.raises(ApiError, match="unknown ExperimentSpec field"):
+        ExperimentSpec.from_dict({"algorithm": "asgd", "warp_speed": 9})
+
+
+def test_spec_coerce():
+    spec = ExperimentSpec.coerce({"algorithm": "sgd"})
+    assert spec.algorithm == "sgd"
+    assert ExperimentSpec.coerce(spec) is spec
+    with pytest.raises(ApiError):
+        ExperimentSpec.coerce("asgd")
+
+
+def test_grid_expansion_row_major():
+    grid = GridSpec(
+        base=ExperimentSpec(algorithm="asgd", max_updates=8),
+        grid={"num_workers": [2, 4], "barrier": ["asp", "bsp", "ssp:2"]},
+    )
+    specs = grid.expand()
+    assert len(grid) == 6 and len(specs) == 6
+    # last axis varies fastest
+    assert [s.barrier for s in specs[:3]] == ["asp", "bsp", "ssp:2"]
+    assert [s.num_workers for s in specs] == [2, 2, 2, 4, 4, 4]
+    # untouched base fields propagate to every cell
+    assert all(s.max_updates == 8 for s in specs)
+
+
+def test_grid_dotted_paths_reach_nested_fields():
+    grid = GridSpec(
+        base=ExperimentSpec(algorithm="asaga",
+                            step={"name": "constant", "a": 0.1}),
+        grid={"params.mode": ["history", "naive"], "step.a": [0.1, 0.2]},
+    )
+    specs = grid.expand()
+    assert [s.params["mode"] for s in specs] == [
+        "history", "history", "naive", "naive"]
+    assert [s.step["a"] for s in specs] == [0.1, 0.2, 0.1, 0.2]
+
+
+def test_grid_dotted_path_rejects_scalar_descent():
+    grid = GridSpec(grid={"algorithm.x": [1]})
+    with pytest.raises(ApiError, match="non-dict field"):
+        grid.expand()
+
+
+def test_grid_rejects_empty_axes():
+    with pytest.raises(ApiError, match="non-empty list"):
+        GridSpec(grid={"num_workers": []})
+    with pytest.raises(ApiError, match="non-empty list"):
+        GridSpec(grid={"num_workers": 4})
+
+
+def test_grid_json_round_trip():
+    grid = GridSpec(
+        base=ExperimentSpec(algorithm="asgd"),
+        grid={"barrier": ["asp", "bsp"]},
+    )
+    again = GridSpec.from_json(grid.to_json())
+    assert again == grid
+    assert [s.barrier for s in again.expand()] == ["asp", "bsp"]
+
+
+def test_grid_rejects_instance_valued_base_fields():
+    import numpy as np
+
+    from repro.optim.problems import LeastSquaresProblem
+
+    X = np.eye(4)
+    y = np.ones(4)
+    grid = GridSpec(
+        base=ExperimentSpec(problem=LeastSquaresProblem(X, y)),
+        grid={"num_workers": [2, 4]},
+    )
+    with pytest.raises(ApiError, match="hold object instances"):
+        grid.expand()
+
+
+def test_grid_null_fields_treated_as_empty():
+    grid = GridSpec.from_dict({"base": {"algorithm": "sgd"}, "grid": None})
+    assert len(grid) == 1
+    base_null = GridSpec.from_dict({"base": None,
+                                    "grid": {"seed": [0, 1]}})
+    assert len(base_null) == 2
+
+
+def test_grid_coerce_forms():
+    single = GridSpec.coerce({"algorithm": "sgd", "max_updates": 4})
+    assert len(single) == 1
+    assert single.expand()[0].algorithm == "sgd"
+    wrapped = GridSpec.coerce({"base": {"algorithm": "sgd"},
+                               "grid": {"seed": [0, 1]}})
+    assert len(wrapped) == 2
+    from_spec = GridSpec.coerce(ExperimentSpec(algorithm="saga"))
+    assert from_spec.expand()[0].algorithm == "saga"
+    with pytest.raises(ApiError, match="unknown GridSpec field"):
+        GridSpec.from_dict({"base": {}, "grid": {}, "bogus": 1})

@@ -94,4 +94,4 @@ def test_top_level_exports_constructible(ctx):
 def test_version_string():
     import repro
 
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"

@@ -1,0 +1,111 @@
+"""The ``python -m repro`` CLI: run, sweep, list."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+REPO = Path(__file__).resolve().parent.parent
+SPECS = REPO / "examples" / "specs"
+
+
+def test_run_example_spec_end_to_end(tmp_path, capsys):
+    out = tmp_path / "summary.json"
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "algorithm": "asgd", "dataset": "tiny_dense", "num_workers": 4,
+        "num_partitions": 8, "max_updates": 12, "eval_every": 4, "seed": 0,
+    }))
+    assert main(["run", str(spec), "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "running asgd on tiny_dense" in printed
+    summary = json.loads(out.read_text())
+    assert summary["updates"] == 12
+    assert summary["final_error"] < summary["initial_error"]
+
+
+def test_shipped_example_specs_are_valid():
+    from repro.api.spec import ExperimentSpec, GridSpec
+
+    for path in sorted(SPECS.glob("*.json")):
+        data = json.loads(path.read_text())
+        grid = GridSpec.coerce(data)
+        for spec in grid.expand():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.max_updates > 0
+
+
+def test_sweep_writes_one_summary_per_cell(tmp_path, capsys):
+    out = tmp_path / "results.json"
+    spec = tmp_path / "grid.json"
+    spec.write_text(json.dumps({
+        "base": {
+            "algorithm": "asgd", "dataset": "tiny_dense", "num_workers": 4,
+            "num_partitions": 8, "max_updates": 10, "eval_every": 5,
+            "seed": 0,
+        },
+        "grid": {"barrier": ["asp", "ssp:2"]},
+    }))
+    assert main(["sweep", str(spec), "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "2 cell(s)" in printed
+    results = json.loads(out.read_text())
+    assert [r["spec"]["barrier"] for r in results] == ["asp", "ssp:2"]
+
+
+def test_list_prints_registries(capsys):
+    assert main(["list"]) == 0
+    printed = capsys.readouterr().out
+    assert "optimizers:" in printed and "asgd" in printed
+    assert "datasets:" in printed and "tiny_dense" in printed
+
+
+def test_bad_spec_is_a_clean_error(tmp_path, capsys):
+    spec = tmp_path / "bad.json"
+    spec.write_text(json.dumps({"algorithm": "quantum",
+                                "dataset": "tiny_dense"}))
+    assert main(["run", str(spec)]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_bad_component_value_is_a_clean_error(tmp_path, capsys):
+    spec = tmp_path / "ssp0.json"
+    spec.write_text(json.dumps({"algorithm": "asgd", "dataset": "tiny_dense",
+                                "barrier": "ssp:0", "max_updates": 4}))
+    assert main(["run", str(spec)]) == 2
+    err = capsys.readouterr().err
+    assert "bad parameters for barrier 'ssp'" in err
+
+
+def test_wrong_typed_field_is_a_clean_error(tmp_path, capsys):
+    spec = tmp_path / "strint.json"
+    spec.write_text(json.dumps({"algorithm": "asgd", "dataset": "tiny_dense",
+                                "max_updates": "50"}))
+    assert main(["run", str(spec)]) == 2
+    assert "bad run parameters" in capsys.readouterr().err
+
+
+def test_invalid_json_is_a_clean_error(tmp_path, capsys):
+    spec = tmp_path / "broken.json"
+    spec.write_text("{not json")
+    assert main(["run", str(spec)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_non_object_json_rejected(tmp_path, capsys):
+    spec = tmp_path / "list.json"
+    spec.write_text("[1, 2, 3]")
+    assert main(["sweep", str(spec)]) == 2
+    assert "must be an object" in capsys.readouterr().err
+
+
+def test_missing_spec_file_is_a_clean_error(tmp_path, capsys):
+    assert main(["run", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read spec" in capsys.readouterr().err
+
+
+def test_unknown_subcommand_exits_nonzero():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -65,6 +65,26 @@ def test_every_algorithm_runs(algorithm, is_async):
     assert len(res.error_series) >= 2
 
 
+def test_bad_barrier_token_fails_fast_even_for_sync_cells():
+    spec = ExperimentSpec(dataset="tiny_dense", algorithm="sgd",
+                          num_workers=4, num_partitions=8, max_updates=4,
+                          barrier="sspp:4")
+    with pytest.raises(ReproError, match="unknown barrier"):
+        run_experiment(spec)
+
+
+def test_aadmm_is_async_and_honors_barrier():
+    """is_async derives from the registry, so aadmm's barrier is applied."""
+    spec = ExperimentSpec(
+        dataset="tiny_dense", algorithm="aadmm", num_workers=4,
+        num_partitions=8, max_updates=8, seed=0, barrier="bsp",
+    )
+    assert spec.is_async()
+    res = run_experiment(spec)
+    assert res.updates == 8
+    assert "max_staleness_seen" in res.extras
+
+
 def test_result_time_to_error():
     spec = ExperimentSpec(
         dataset="tiny_dense", algorithm="sgd", num_workers=4,

@@ -91,11 +91,12 @@ def run_experiment(spec):
     return _run(spec)
 
 
-def run_grid(grid, progress=None):
+def run_grid(grid, progress=None, *, jobs=1, checkpoint=None, resume=False):
     """Run a parameter sweep; see :func:`repro.api.run_grid`."""
     from repro.api.runner import run_grid as _run
 
-    return _run(grid, progress=progress)
+    return _run(grid, progress=progress, jobs=jobs, checkpoint=checkpoint,
+                resume=resume)
 
 
 __version__ = "1.1.0"

@@ -4,18 +4,23 @@
 
     python -m repro run examples/specs/asgd.json
     python -m repro sweep examples/specs/asgd_barrier_sweep.json --out results.json
+    python -m repro sweep examples/specs/parallel_sweep.json --jobs 4 --resume
     python -m repro list
 
 ``run`` executes a single :class:`~repro.api.ExperimentSpec`; ``sweep``
 expands a :class:`~repro.api.GridSpec` (a plain spec counts as a 1-cell
-grid) and runs every cell. Both print human-readable summaries and can
-write the machine-readable form with ``--out``.
+grid) and runs every cell — ``--jobs N`` fans cells across a process
+pool with identical results, and each summary streams to a checkpoint
+JSONL as it lands so ``--resume`` re-runs only unfinished cells after an
+interrupt. Both commands print human-readable summaries and can write
+the machine-readable form with ``--out``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -86,13 +91,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_checkpoint(spec_path: str) -> str | None:
+    """Where sweep progress streams unless ``--checkpoint`` overrides."""
+    if spec_path == "-":
+        return None
+    return str(Path(spec_path).with_suffix(".ckpt.jsonl"))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api.parallel import resolve_jobs
     from repro.api.runner import run_grid
     from repro.api.spec import GridSpec
 
+    # Pure flag-usage errors fail before stdin is consumed or the spec
+    # parsed, so misuse is never masked by a spec error.
+    if args.no_checkpoint:
+        if args.resume:
+            raise ReproError("--resume and --no-checkpoint conflict")
+        if args.checkpoint:
+            raise ReproError("--checkpoint and --no-checkpoint conflict")
+        checkpoint = None
+    else:
+        checkpoint = args.checkpoint or _default_checkpoint(args.spec)
+    if args.resume and checkpoint is None:
+        raise ReproError(
+            "--resume needs a checkpoint file; pass --checkpoint when the "
+            "spec comes from stdin"
+        )
     grid = GridSpec.coerce(_load_json(args.spec))
     axes = list(grid.grid)
-    print(f"sweep: {len(grid)} cell(s) over {axes or ['(single spec)']}")
+    jobs = resolve_jobs(args.jobs)
+    print(
+        f"sweep: {len(grid)} cell(s) over {axes or ['(single spec)']}"
+        f" [jobs={jobs}"
+        + (f", checkpoint={checkpoint}" if checkpoint else "")
+        + (", resume" if args.resume else "")
+        + "]"
+    )
 
     def progress(i: int, total: int, summary: dict) -> None:
         _print_summary(summary, prefix=f"[{i + 1}/{total}] ")
@@ -100,7 +135,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if varied:
             print(f"          {varied}")
 
-    summaries = run_grid(grid, progress=progress)
+    summaries = run_grid(
+        grid, progress=progress, jobs=jobs, checkpoint=checkpoint,
+        resume=args.resume,
+    )
     _write_out(summaries, args.out)
     return 0
 
@@ -131,6 +169,25 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep = sub.add_parser("sweep", help="run a parameter sweep (GridSpec)")
     p_sweep.add_argument("spec", help="path to a GridSpec JSON ('-' for stdin)")
     p_sweep.add_argument("--out", help="write the list of JSON summaries here")
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for cells (1 = serial, 0 = all cores); "
+             "summaries are identical to a serial run",
+    )
+    p_sweep.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="JSONL file each summary is appended to as its cell finishes "
+             "(default: <spec>.ckpt.jsonl next to the spec file)",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already recorded in the checkpoint file",
+    )
+    p_sweep.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="don't stream cell summaries to a checkpoint file "
+             "(e.g. when the spec's directory is read-only)",
+    )
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_list = sub.add_parser("list", help="list registered components and datasets")
@@ -142,6 +199,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # The stdout consumer (head, less, ...) went away mid-run; any
+        # sweep progress is already in the checkpoint, so exit like a
+        # well-behaved shell tool instead of tracebacking.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the shell convention
 
 
 if __name__ == "__main__":

@@ -10,6 +10,10 @@ Three layers turn experiments into data:
 - **Runner** (:mod:`repro.api.runner`) — ``run_experiment(spec)``
   resolves a spec through the registries and executes it; ``run_grid``
   sweeps; both power the ``python -m repro`` CLI.
+- **Sweep engine** (:mod:`repro.api.parallel`) — ``run_grid(jobs=N)``
+  fans independent grid cells across a process pool with bit-identical
+  summaries, streaming each result to a JSONL checkpoint so interrupted
+  sweeps resume where they stopped.
 
 Quickstart::
 
@@ -78,6 +82,9 @@ __all__ = [
     "run_grid",
     "summarize",
     "default_step",
+    "run_cells",
+    "run_key",
+    "SweepCheckpoint",
 ]
 
 _RUNNER_EXPORTS = {
@@ -89,10 +96,16 @@ _RUNNER_EXPORTS = {
     "default_step",
 }
 
+_PARALLEL_EXPORTS = {"run_cells", "run_key", "SweepCheckpoint"}
+
 
 def __getattr__(name: str):
     if name in _RUNNER_EXPORTS:
         from repro.api import runner
 
         return getattr(runner, name)
+    if name in _PARALLEL_EXPORTS:
+        from repro.api import parallel
+
+        return getattr(parallel, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

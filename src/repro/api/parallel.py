@@ -1,0 +1,333 @@
+"""Parallel sweep execution: independent grid cells across a process pool.
+
+Every cell of a :class:`~repro.api.spec.GridSpec` is an independent
+deterministic simulation, so a sweep is embarrassingly parallel work.
+This module is the engine behind :func:`repro.api.runner.run_grid` (and
+the figure drivers in :mod:`repro.bench.figures`):
+
+- ``run_cells`` maps specs over a ``ProcessPoolExecutor``. Results come
+  back in *input* order regardless of completion order, and cells are
+  submitted grouped by ``(dataset, seed, problem)`` so each worker
+  process materializes a dataset and solves its reference optimum once
+  per group (via :func:`prepare_shared`'s per-process one-slot cache)
+  instead of once per cell.
+- ``run_grid_cells`` adds JSONL checkpointing on top: each summary is
+  appended to the checkpoint file the moment its cell finishes, so an
+  interrupted sweep keeps its partial results and ``resume=True`` re-runs
+  only the unfinished cells.
+
+Serial (``jobs=1``) and parallel paths execute the exact same per-cell
+code, so their summaries are bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.api.spec import ExperimentSpec, GridSpec
+from repro.errors import ApiError
+
+__all__ = [
+    "run_key",
+    "group_key",
+    "prepare_shared",
+    "clear_shared_cache",
+    "resolve_jobs",
+    "run_cells",
+    "run_grid_cells",
+    "SweepCheckpoint",
+]
+
+
+def run_key(spec: ExperimentSpec | Mapping[str, Any]) -> str:
+    """Canonical identity of one cell: its spec as sorted, compact JSON.
+
+    This is the key for every cross-process cache and for checkpoint
+    matching — unlike tuple/``id``-based keys it survives pickling,
+    process boundaries, and sessions.
+    """
+    spec = ExperimentSpec.coerce(spec)
+    return json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def group_key(spec: ExperimentSpec) -> tuple:
+    """Cells with equal group keys share a dataset and a solved problem."""
+    from repro.api.runner import component_key
+
+    return (spec.dataset, spec.seed, component_key(spec.problem))
+
+
+# Per-process one-slot cache of the shareable (expensive) components: the
+# materialized dataset and the problem with its solved reference optimum.
+# One slot keeps memory constant on seed sweeps while still collapsing the
+# common case (adjacent cells varying barriers/workers/steps) to a single
+# dataset build + optimum solve per contiguous group.
+_SHARED: dict[str, Any] = {
+    "dataset_key": None,
+    "dataset": None,
+    "problem_key": None,
+    "problem": None,
+}
+
+
+def clear_shared_cache() -> None:
+    """Drop this process's cached dataset/problem slot (frees the memory
+    held after a sweep; the next cell rebuilds what it needs)."""
+    _SHARED.update(dataset_key=None, dataset=None,
+                   problem_key=None, problem=None)
+
+
+def prepare_shared(spec: ExperimentSpec | Mapping[str, Any]):
+    """``prepare_experiment`` with the per-process shared-component cache.
+
+    Both the serial sweep loop and every pool worker route cells through
+    here, so consecutive same-group cells — the submission order
+    guarantees grouping — reuse one dataset and one solved optimum.
+    """
+    from repro.api.runner import component_key, prepare_experiment
+    from repro.data.registry import get_dataset
+
+    spec = ExperimentSpec.coerce(spec)
+    dataset_key = (spec.dataset, spec.seed)
+    if dataset_key != _SHARED["dataset_key"]:
+        _SHARED["dataset_key"] = dataset_key
+        _SHARED["dataset"] = get_dataset(spec.dataset, seed=spec.seed)
+        _SHARED["problem_key"] = None
+        _SHARED["problem"] = None
+    problem_key = (*dataset_key, component_key(spec.problem))
+    if problem_key != _SHARED["problem_key"]:
+        _SHARED["problem_key"] = problem_key
+        _SHARED["problem"] = None
+    prep = prepare_experiment(
+        spec, _dataset=_SHARED["dataset"], _problem=_SHARED["problem"]
+    )
+    _SHARED["problem"] = prep.problem
+    return prep
+
+
+def _summary_cell(spec_dict: Mapping[str, Any]) -> dict:
+    """The ``run_grid`` cell body: prepare (shared), execute, summarize."""
+    from repro.api.runner import summarize
+
+    prep = prepare_shared(spec_dict)
+    return summarize(prep, prep.execute())
+
+
+def resolve_runner(name: str) -> Callable[[Mapping[str, Any]], Any]:
+    """Map a runner name to its cell function.
+
+    Runners are addressed by name (not passed as callables) so the pool
+    never pickles closures and workers resolve them after their own
+    imports — safe under any multiprocessing start method.
+    """
+    if name == "summary":
+        return _summary_cell
+    if name == "bench":
+        from repro.bench.harness import run_api_experiment
+
+        return run_api_experiment
+    raise ApiError(
+        f"unknown cell runner {name!r}; available: ['bench', 'summary']"
+    )
+
+
+def _execute_cell(runner: str, index: int, spec_dict: Mapping[str, Any]):
+    return index, resolve_runner(runner)(spec_dict)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """``None`` / ``<= 0`` means "all cores this process may use"."""
+    if jobs is None or jobs <= 0:
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return os.cpu_count() or 1
+    return jobs
+
+
+def run_cells(
+    specs: Sequence[ExperimentSpec | Mapping[str, Any]],
+    *,
+    runner: str = "summary",
+    jobs: int = 1,
+    on_result: Callable[[int, Any], None] | None = None,
+) -> list[Any]:
+    """Execute independent experiment cells; results in *input* order.
+
+    ``jobs=1`` runs in-process (no pool); ``jobs<=0`` uses every core.
+    ``on_result(index, result)`` fires in completion order as each cell
+    lands — the checkpoint/stream hook. A failing cell propagates its
+    exception after cancelling unstarted work; cells already reported
+    through ``on_result`` are not lost.
+    """
+    specs = [ExperimentSpec.coerce(s) for s in specs]
+    jobs = resolve_jobs(jobs)
+    results: list[Any] = [None] * len(specs)
+    # Execute/submit same-group cells adjacently: the one-slot
+    # prepare_shared cache then pays for each dataset and reference
+    # optimum once per contiguous group instead of once per cell — in
+    # the serial loop directly, and in the pool because workers pulling
+    # from one shared queue each see a contiguous run of one group.
+    order = sorted(range(len(specs)), key=lambda i: (group_key(specs[i]), i))
+    if jobs <= 1 or len(specs) <= 1:
+        cell = resolve_runner(runner)
+        try:
+            for i in order:
+                results[i] = cell(specs[i].to_dict())
+                if on_result is not None:
+                    on_result(i, results[i])
+        finally:
+            # Don't pin the last dataset/problem in a long-lived main
+            # process; workers keep their slots (their memory dies with
+            # the pool below).
+            clear_shared_cache()
+        return results
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        futures = [
+            pool.submit(_execute_cell, runner, i, specs[i].to_dict())
+            for i in order
+        ]
+        failure: BaseException | None = None
+        for future in as_completed(futures):
+            # On the first failure, cancel unstarted work but keep
+            # draining: in-flight cells finish anyway (pool shutdown
+            # waits for them), and reporting their results means a
+            # checkpointed sweep doesn't re-pay for completed work.
+            try:
+                i, result = future.result()
+                results[i] = result
+                if on_result is not None:
+                    on_result(i, result)
+            except BaseException as exc:
+                if failure is None:
+                    failure = exc
+                    for other in futures:
+                        other.cancel()
+        if failure is not None:
+            raise failure
+    return results
+
+
+class SweepCheckpoint:
+    """Append-only JSONL record of completed sweep cells.
+
+    One line per finished cell: ``{"index": ..., "key": ..., "summary":
+    ...}`` where ``key`` is the cell's :func:`run_key`. Lines are written
+    the moment a cell completes, so a killed sweep keeps everything it
+    finished; on resume, a line only counts if its key still matches the
+    cell at that index (an edited grid invalidates stale entries).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def reset(self) -> None:
+        """Start a fresh record (a non-resume sweep must not inherit —
+        and endlessly grow — a previous sweep's lines). Also the early
+        writability probe: failing here beats failing after cell one."""
+        try:
+            self.path.write_text("")
+        except OSError as exc:
+            raise ApiError(
+                f"cannot write checkpoint {str(self.path)!r}: {exc}"
+            ) from exc
+
+    def load(self) -> dict[int, tuple[str | None, Any]]:
+        """``{index: (key, summary)}``; later lines win, a truncated final
+        line (killed mid-write) is skipped."""
+        done: dict[int, tuple[str | None, Any]] = {}
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return done
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("index"), int):
+                done[entry["index"]] = (entry.get("key"), entry.get("summary"))
+        return done
+
+    def append(self, index: int, key: str, summary: Any) -> None:
+        line = json.dumps(
+            {"index": index, "key": key, "summary": summary},
+            separators=(",", ":"),
+        )
+        try:
+            with self.path.open("a") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+        except OSError as exc:
+            raise ApiError(
+                f"cannot write checkpoint {str(self.path)!r}: {exc}"
+            ) from exc
+
+
+def run_grid_cells(
+    grid: GridSpec | ExperimentSpec | Mapping[str, Any],
+    progress: Callable[[int, int, dict], None] | None = None,
+    *,
+    jobs: int = 1,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+) -> list[dict]:
+    """Run every cell of a sweep; one summary dict per cell, in grid order.
+
+    ``progress(k, total, summary)`` is called once per cell in completion
+    order (``k`` counts completions; resumed cells are reported first).
+    With ``checkpoint``, each summary is appended to the JSONL file as it
+    lands; with ``resume``, cells whose checkpoint entry still matches
+    their spec are returned from the file instead of re-running.
+    """
+    grid = GridSpec.coerce(grid)
+    specs = grid.expand()
+    keys = [run_key(spec) for spec in specs]
+    ckpt = SweepCheckpoint(checkpoint) if checkpoint is not None else None
+    if resume and ckpt is None:
+        raise ApiError("resume requires a checkpoint path")
+
+    total = len(specs)
+    results: list[Any] = [None] * total
+    done: dict[int, Any] = {}
+    if resume:
+        for index, (key, summary) in ckpt.load().items():
+            if 0 <= index < total and key == keys[index]:
+                done[index] = summary
+    elif ckpt is not None:
+        ckpt.reset()
+    completed = 0
+    for index in sorted(done):
+        results[index] = done[index]
+        if progress is not None:
+            progress(completed, total, results[index])
+        completed += 1
+
+    pending = [i for i in range(total) if i not in done]
+    if not pending:
+        return results
+
+    def on_result(pending_i: int, summary: dict) -> None:
+        nonlocal completed
+        index = pending[pending_i]
+        results[index] = summary
+        if ckpt is not None:
+            ckpt.append(index, keys[index], summary)
+        if progress is not None:
+            progress(completed, total, summary)
+        completed += 1
+
+    run_cells(
+        [specs[i] for i in pending],
+        runner="summary",
+        jobs=jobs,
+        on_result=on_result,
+    )
+    return results

@@ -14,8 +14,10 @@ context closes).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any, Mapping
 
 import numpy as np
@@ -47,6 +49,7 @@ __all__ = [
     "run_grid",
     "summarize",
     "default_step",
+    "component_key",
 ]
 
 _SAGA_FAMILY = {"saga", "asaga"}
@@ -255,7 +258,7 @@ def summarize(prep: PreparedExperiment, result: RunResult) -> dict:
         "spec": prep.spec.to_dict(),
         "algorithm": result.algorithm,
         "final_error": float(problem.error(result.w)),
-        "initial_error": float(problem.error(problem.initial_point())),
+        "initial_error": float(problem.initial_error()),
         "updates": result.updates,
         "rounds": result.rounds,
         "elapsed_ms": float(result.elapsed_ms),
@@ -268,44 +271,105 @@ def summarize(prep: PreparedExperiment, result: RunResult) -> dict:
     }
 
 
-def _component_key(spec: Any):
-    """A hashable cache key for a component spec (str, dict, or instance)."""
+def _array_digest(value: Any) -> str:
+    """Content fingerprint of an array/sparse matrix (shape alone would
+    alias e.g. two same-sized problems with different labels)."""
+    digest = hashlib.sha1()
+    if hasattr(value, "tobytes"):
+        parts = [value]
+    elif hasattr(value, "tocsr"):  # scipy sparse: hash the raw triplet
+        csr = value.tocsr()
+        parts = [csr.data, csr.indices, csr.indptr]
+    else:
+        return "?"
+    for part in parts:
+        digest.update(np.ascontiguousarray(part).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def _stable_value(value: Any) -> Any:
+    """A JSON-representable, process-independent stand-in for a value."""
+    if isinstance(value, (bool, int, float, str, type(None))):
+        return value
+    shape = getattr(value, "shape", None)
+    if shape is not None:
+        return (
+            f"<{type(value).__name__} shape={tuple(shape)} "
+            f"sha1={_array_digest(value)}>"
+        )
+    if isinstance(value, (list, tuple)):
+        return [_stable_value(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _stable_value(v) for k, v in value.items()}
+    return f"<{type(value).__name__}>"
+
+
+def component_key(spec: Any) -> str:
+    """A stable cache key for a component spec (str, dict, or instance).
+
+    Strings key as themselves and dicts as sorted JSON. An already-built
+    instance keys as its class path plus its sorted public state —
+    ``id()`` would be meaningless across processes and sessions, which is
+    exactly where the sweep engine and checkpoint files need the key to
+    hold. ``cached_property`` slots are excluded: they materialize lazily
+    (``w_star``/``f_star`` appear mid-sweep) and would otherwise change
+    an instance's identity after first use.
+    """
+    if isinstance(spec, str):
+        return spec
     if isinstance(spec, Mapping):
         return json.dumps(spec, sort_keys=True, default=repr)
-    return spec if isinstance(spec, str) else id(spec)
+    cls = type(spec)
+    cached = {
+        name
+        for klass in cls.__mro__
+        for name, attr in vars(klass).items()
+        if isinstance(attr, cached_property)
+    }
+    state = getattr(spec, "__dict__", None)
+    if state is None:  # __slots__-only classes
+        state = {
+            name: getattr(spec, name)
+            for klass in cls.__mro__
+            for name in getattr(klass, "__slots__", ())
+            if hasattr(spec, name)
+        }
+    public = {
+        name: _stable_value(value)
+        for name, value in state.items()
+        if not name.startswith("_") and name not in cached
+    }
+    return (
+        f"{cls.__module__}.{cls.__qualname__}"
+        f"({json.dumps(public, sort_keys=True, default=repr)})"
+    )
 
 
 def run_grid(
     grid: GridSpec | ExperimentSpec | Mapping[str, Any],
     progress=None,
+    *,
+    jobs: int = 1,
+    checkpoint: Any = None,
+    resume: bool = False,
 ) -> list[dict]:
     """Run every cell of a sweep; returns one summary dict per cell.
 
-    ``progress``, if given, is called as ``progress(i, total, summary)``
-    after each cell (the CLI uses it to print one line per run).
+    Delegates to the sweep engine in :mod:`repro.api.parallel`:
+
+    - ``jobs`` — worker processes (``1`` = in-process serial, ``<= 0`` =
+      every core). Serial and parallel runs produce identical summary
+      lists in grid-expansion order.
+    - ``checkpoint`` — JSONL path appended to as each cell finishes, so
+      an interrupted sweep keeps its partial results.
+    - ``resume`` — skip cells already recorded in the checkpoint.
+
+    ``progress``, if given, is called as ``progress(k, total, summary)``
+    as each cell completes (the CLI uses it to print one line per run).
     """
-    grid = GridSpec.coerce(grid)
-    specs = grid.expand()
-    summaries = []
-    # One-slot caches: adjacent cells almost always share a dataset and
-    # problem (sweeps vary barriers/workers/steps far more often than
-    # data), and a single slot keeps memory constant when they don't
-    # (e.g. a seed sweep touches a fresh dataset every cell).
-    dataset_key = problem_key = object()
-    dataset = problem = None
-    for i, spec in enumerate(specs):
-        key = (spec.dataset, spec.seed)
-        if key != dataset_key:
-            dataset_key, dataset = key, get_dataset(spec.dataset,
-                                                    seed=spec.seed)
-            problem_key, problem = object(), None
-        pkey = (*key, _component_key(spec.problem))
-        if pkey != problem_key:
-            problem_key, problem = pkey, None
-        prep = prepare_experiment(spec, _dataset=dataset, _problem=problem)
-        problem = prep.problem
-        summary = summarize(prep, prep.execute())
-        summaries.append(summary)
-        if progress is not None:
-            progress(i, len(specs), summary)
-    return summaries
+    from repro.api.parallel import run_grid_cells
+
+    return run_grid_cells(
+        grid, progress=progress, jobs=jobs, checkpoint=checkpoint,
+        resume=resume,
+    )

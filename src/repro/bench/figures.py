@@ -2,9 +2,17 @@
 
 Each ``fig*``/``table*`` function runs the experiment cells behind one
 paper figure, returns a structured dict (headers + rows + raw cells) and
-can pretty-print the table. Results are memoized per-process so that
+can pretty-print the table.
+
+Drivers are spec-routed: every figure's cells are expressed as api
+:class:`~repro.api.GridSpec` sweeps (or explicit spec lists where an
+axis carries a dependent parameter, e.g. the per-dataset PCS batch
+fraction) and execute through the shared sweep engine in
+:mod:`repro.api.parallel` — call :func:`set_jobs` to fan cells across a
+process pool. Results are memoized in a per-process cache keyed on each
+cell's canonical spec JSON (:func:`repro.api.parallel.run_key`), so
 figure pairs sharing runs (Fig 3 & 4; Fig 5 & 6; Fig 7/8 & Table 3) pay
-for them once.
+for them once and the cache identity survives process boundaries.
 
 Budgets are parameterized (``sync_updates``/``async_updates``) with fast
 defaults tuned for the pytest-benchmark harness; pass larger budgets for
@@ -13,10 +21,12 @@ paper-scale curves.
 
 from __future__ import annotations
 
+import itertools
 import math
-from functools import lru_cache
 
-from repro.bench.harness import ExperimentResult, ExperimentSpec, run_experiment
+from repro.api.parallel import run_cells, run_key
+from repro.api.spec import GridSpec
+from repro.bench.harness import ExperimentResult, ExperimentSpec
 from repro.data.registry import REGISTRY
 from repro.optim.reference import reference_sgd
 from repro.utils.tables import format_table
@@ -34,6 +44,7 @@ __all__ = [
     "ablation_broadcast",
     "ablation_barriers",
     "ablation_staleness_lr",
+    "set_jobs",
     "clear_cache",
 ]
 
@@ -41,46 +52,99 @@ CDS_DELAYS = (0.0, 0.3, 0.6, 1.0)
 CDS_DATASETS = ("mnist8m_like", "epsilon_like", "rcv1_like")
 PCS_DATASETS = ("mnist8m_like", "epsilon_like")
 
+#: Completed cells, keyed on canonical spec JSON (shared across drivers);
+#: bounded — oldest entries are evicted past _CACHE_MAX, matching the
+#: memory ceiling of the lru_cache this replaced.
+_RESULTS: dict[str, ExperimentResult] = {}
+_CACHE_MAX = 256
+#: Worker processes for cell execution (1 = in-process, <= 0 = all cores).
+_JOBS = 1
 
-@lru_cache(maxsize=256)
-def _run_cached(spec: ExperimentSpec) -> ExperimentResult:
-    return run_experiment(spec)
+
+def set_jobs(jobs: int) -> None:
+    """Fan subsequent figure cells across ``jobs`` worker processes."""
+    global _JOBS
+    _JOBS = jobs
 
 
 def clear_cache() -> None:
-    _run_cached.cache_clear()
+    _RESULTS.clear()
 
 
-def _sync_async_pair(
-    dataset: str,
+def _cache_put(key: str, result: ExperimentResult) -> None:
+    while len(_RESULTS) >= _CACHE_MAX:
+        _RESULTS.pop(next(iter(_RESULTS)))
+    _RESULTS[key] = result
+
+
+def _run_specs(api_specs) -> list[ExperimentResult]:
+    """Run api specs through the sweep engine, memoized on spec JSON."""
+    keys = [run_key(spec) for spec in api_specs]
+    # Snapshot hits first: eviction while caching the fresh batch must
+    # not drop entries this call is about to return.
+    have = {key: _RESULTS[key] for key in keys if key in _RESULTS}
+    todo: dict[str, object] = {}
+    for spec, key in zip(api_specs, keys):
+        if key not in have and key not in todo:
+            todo[key] = spec
+    if todo:
+        results = run_cells(list(todo.values()), runner="bench", jobs=_JOBS)
+        for key, result in zip(todo.keys(), results):
+            have[key] = result
+            _cache_put(key, result)
+    return [have[key] for key in keys]
+
+
+def _sweep(base: ExperimentSpec, axes: dict) -> dict[tuple, ExperimentResult]:
+    """Run ``base`` x ``axes`` as a GridSpec sweep; results keyed by the
+    axis-value combinations (row-major, matching ``GridSpec.expand``)."""
+    grid = GridSpec(base=base.to_api_spec(), grid=axes)
+    results = _run_specs(grid.expand())
+    combos = itertools.product(*axes.values())
+    return dict(zip(combos, results))
+
+
+def _delay_tokens(delays) -> list[str]:
+    return [f"cds:{delay}" if delay else "none" for delay in delays]
+
+
+def _cds_pairs(
+    datasets,
+    delays,
     algo_sync: str,
     algo_async: str,
-    delay: str,
-    *,
-    num_workers: int,
-    num_partitions: int,
     sync_updates: int,
     async_updates: int,
     seed: int,
-    batch_fraction: float | None = None,
-) -> tuple[ExperimentResult, ExperimentResult]:
-    sync = _run_cached(
-        ExperimentSpec(
-            dataset=dataset, algorithm=algo_sync, delay=delay,
-            num_workers=num_workers, num_partitions=num_partitions,
-            max_updates=sync_updates, seed=seed,
-            batch_fraction=batch_fraction,
+) -> dict[tuple, tuple[ExperimentResult, ExperimentResult]]:
+    """The (sync, async) runs behind Figs 3-6: dataset x delay sweeps.
+
+    Both sweeps go to the engine as ONE batch so the pool overlaps sync
+    and async cells instead of serializing two pool spins.
+    """
+    tokens = _delay_tokens(delays)
+    axes = {"dataset": list(datasets), "delay": tokens}
+    grids = [
+        GridSpec(
+            base=ExperimentSpec(
+                algorithm=algorithm, num_workers=8, num_partitions=32,
+                max_updates=updates, seed=seed,
+            ).to_api_spec(),
+            grid=axes,
         )
-    )
-    asyn = _run_cached(
-        ExperimentSpec(
-            dataset=dataset, algorithm=algo_async, delay=delay,
-            num_workers=num_workers, num_partitions=num_partitions,
-            max_updates=async_updates, seed=seed,
-            batch_fraction=batch_fraction,
-        )
-    )
-    return sync, asyn
+        for algorithm, updates in
+        ((algo_sync, sync_updates), (algo_async, async_updates))
+    ]
+    cells = [grid.expand() for grid in grids]
+    results = _run_specs(cells[0] + cells[1])
+    combos = list(itertools.product(datasets, tokens))
+    sync = dict(zip(combos, results[:len(cells[0])]))
+    asyn = dict(zip(combos, results[len(cells[0]):]))
+    return {
+        (ds, delay): (sync[(ds, token)], asyn[(ds, token)])
+        for ds in datasets
+        for delay, token in zip(delays, tokens)
+    }
 
 
 def _target_for(dataset: str, sync: ExperimentResult,
@@ -121,16 +185,18 @@ def fig2_sync_sgd_vs_reference(
     from repro.data.registry import get_dataset
     from repro.optim.problems import LeastSquaresProblem
 
+    engine_cells = _sweep(
+        ExperimentSpec(
+            algorithm="sgd", delay="none", max_updates=iterations,
+            seed=seed, eval_every=iterations,
+        ),
+        {"dataset": list(datasets)},
+    )
     rows = []
     cells = {}
     for ds in datasets:
         spec = REGISTRY[ds]
-        engine = _run_cached(
-            ExperimentSpec(
-                dataset=ds, algorithm="sgd", delay="none",
-                max_updates=iterations, seed=seed, eval_every=iterations,
-            )
-        )
+        engine = engine_cells[(ds,)]
         X, y, _ = get_dataset(ds, seed=seed)
         problem = LeastSquaresProblem(X, y)
         _, hist = reference_sgd(
@@ -171,17 +237,13 @@ def fig3_cds_sgd(
     verbose: bool = True,
 ) -> dict:
     """Time-to-target speedups of ASGD over SGD per delay intensity."""
+    pairs = _cds_pairs(datasets, delays, "sgd", "asgd",
+                       sync_updates, async_updates, seed)
     rows = []
     cells = {}
     for ds in datasets:
         for delay in delays:
-            token = f"cds:{delay}" if delay else "none"
-            sync, asyn = _sync_async_pair(
-                ds, "sgd", "asgd", token,
-                num_workers=8, num_partitions=32,
-                sync_updates=sync_updates, async_updates=async_updates,
-                seed=seed,
-            )
+            sync, asyn = pairs[(ds, delay)]
             target = _target_for(ds, sync, asyn)
             sp = _speedup(sync, asyn, target)
             rows.append([
@@ -251,17 +313,13 @@ def fig5_cds_saga(
     verbose: bool = True,
 ) -> dict:
     """Time-to-target speedups of ASAGA over SAGA per delay intensity."""
+    pairs = _cds_pairs(datasets, delays, "saga", "asaga",
+                       sync_updates, async_updates, seed)
     rows = []
     cells = {}
     for ds in datasets:
         for delay in delays:
-            token = f"cds:{delay}" if delay else "none"
-            sync, asyn = _sync_async_pair(
-                ds, "saga", "asaga", token,
-                num_workers=8, num_partitions=32,
-                sync_updates=sync_updates, async_updates=async_updates,
-                seed=seed,
-            )
+            sync, asyn = pairs[(ds, delay)]
             target = _target_for(ds, sync, asyn)
             sp = _speedup(sync, asyn, target)
             rows.append([
@@ -322,17 +380,27 @@ def fig6_wait_saga(
 # Figures 7 & 8 + Table 3 — Production Cluster Stragglers, 32 workers.
 # ---------------------------------------------------------------------------
 
-def _pcs_pair(dataset: str, algo_sync: str, algo_async: str,
-              sync_updates: int, async_updates: int, seed: int):
-    spec_common = dict(
-        num_workers=32, num_partitions=32, seed=seed,
-        batch_fraction=REGISTRY[dataset].b_pcs,
-    )
-    return _sync_async_pair(
-        dataset, algo_sync, algo_async, "pcs",
-        sync_updates=sync_updates, async_updates=async_updates,
-        **spec_common,
-    )
+def _pcs_pairs(datasets, algo_sync: str, algo_async: str,
+               sync_updates: int, async_updates: int, seed: int,
+               ) -> dict[str, tuple[ExperimentResult, ExperimentResult]]:
+    """PCS cells per dataset. The batch fraction rides the dataset axis
+    (each dataset has its own tuned ``b_pcs``), so this is an explicit
+    spec list rather than a pure-product GridSpec."""
+    specs = []
+    for ds in datasets:
+        common = dict(
+            dataset=ds, delay="pcs", num_workers=32, num_partitions=32,
+            seed=seed, batch_fraction=REGISTRY[ds].b_pcs,
+        )
+        specs.append(ExperimentSpec(
+            algorithm=algo_sync, max_updates=sync_updates, **common))
+        specs.append(ExperimentSpec(
+            algorithm=algo_async, max_updates=async_updates, **common))
+    results = _run_specs([spec.to_api_spec() for spec in specs])
+    return {
+        ds: (results[2 * i], results[2 * i + 1])
+        for i, ds in enumerate(datasets)
+    }
 
 
 def fig7_pcs_sgd(
@@ -343,11 +411,12 @@ def fig7_pcs_sgd(
     verbose: bool = True,
 ) -> dict:
     """ASGD vs SGD with production straggler patterns on 32 workers."""
+    pairs = _pcs_pairs(datasets, "sgd", "asgd", sync_updates,
+                       async_updates, seed)
     rows = []
     cells = {}
     for ds in datasets:
-        sync, asyn = _pcs_pair(ds, "sgd", "asgd", sync_updates,
-                               async_updates, seed)
+        sync, asyn = pairs[ds]
         target = _target_for(ds, sync, asyn)
         sp = _speedup(sync, asyn, target)
         rows.append([ds, sync.time_to_error(target),
@@ -375,11 +444,12 @@ def fig8_pcs_saga(
     verbose: bool = True,
 ) -> dict:
     """ASAGA vs SAGA with production straggler patterns on 32 workers."""
+    pairs = _pcs_pairs(datasets, "saga", "asaga", sync_updates,
+                       async_updates, seed)
     rows = []
     cells = {}
     for ds in datasets:
-        sync, asyn = _pcs_pair(ds, "saga", "asaga", sync_updates,
-                               async_updates, seed)
+        sync, asyn = pairs[ds]
         target = _target_for(ds, sync, asyn)
         sp = _speedup(sync, asyn, target)
         rows.append([ds, sync.time_to_error(target),
@@ -482,15 +552,16 @@ def ablation_broadcast(
     on real data the effect shows even on 10 GbE; scaled-down vectors
     need a scaled-down pipe to show the same shape).
     """
-    results = {}
-    for mode in ("history", "naive"):
-        results[mode] = _run_cached(
-            ExperimentSpec(
-                dataset=dataset, algorithm="saga", delay="none",
-                max_updates=updates, seed=seed, saga_mode=mode,
-                net_bandwidth_bytes_per_ms=bandwidth_bytes_per_ms,
-            )
-        )
+    modes = ("history", "naive")
+    swept = _sweep(
+        ExperimentSpec(
+            dataset=dataset, algorithm="saga", delay="none",
+            max_updates=updates, seed=seed,
+            net_bandwidth_bytes_per_ms=bandwidth_bytes_per_ms,
+        ),
+        {"params.mode": list(modes)},
+    )
+    results = {mode: swept[(mode,)] for mode in modes}
     hist, naive = results["history"], results["naive"]
     hist_bytes = hist.total_fetch_bytes
     naive_bytes = naive.total_fetch_bytes
@@ -520,15 +591,17 @@ def ablation_barriers(
     verbose: bool = True,
 ) -> dict:
     """Barrier-control strategies under a straggler (Listing 2)."""
+    swept = _sweep(
+        ExperimentSpec(
+            dataset=dataset, algorithm="asgd", delay=delay,
+            max_updates=updates, seed=seed,
+        ),
+        {"barrier": list(barriers)},
+    )
     rows = []
     cells = {}
     for barrier in barriers:
-        res = _run_cached(
-            ExperimentSpec(
-                dataset=dataset, algorithm="asgd", delay=delay,
-                barrier=barrier, max_updates=updates, seed=seed,
-            )
-        )
+        res = swept[(barrier,)]
         target = res.initial_error * REGISTRY[dataset].target_rel
         rows.append([
             barrier, res.elapsed_ms, res.updates,
@@ -555,18 +628,19 @@ def ablation_staleness_lr(
     verbose: bool = True,
 ) -> dict:
     """Staleness-dependent learning rate (Listing 1) under PCS."""
+    swept = _sweep(
+        ExperimentSpec(
+            dataset=dataset, algorithm="asgd", delay="pcs",
+            num_workers=32, num_partitions=32,
+            max_updates=updates, seed=seed,
+            batch_fraction=REGISTRY[dataset].b_pcs,
+        ),
+        {"staleness_adaptive": [False, True]},
+    )
     rows = []
     cells = {}
     for adaptive in (False, True):
-        res = _run_cached(
-            ExperimentSpec(
-                dataset=dataset, algorithm="asgd", delay="pcs",
-                num_workers=32, num_partitions=32,
-                max_updates=updates, seed=seed,
-                staleness_adaptive=adaptive,
-                batch_fraction=REGISTRY[dataset].b_pcs,
-            )
-        )
+        res = swept[(adaptive,)]
         label = "staleness-adaptive" if adaptive else "plain"
         rows.append([label, res.final_error, res.elapsed_ms,
                      res.extras.get("max_staleness_seen", "")])

@@ -31,7 +31,7 @@ from repro.errors import ReproError
 from repro.metrics.wait_time import average_wait_ms
 
 __all__ = ["ExperimentSpec", "ExperimentResult", "run_experiment",
-           "parse_delay", "parse_barrier"]
+           "run_api_experiment", "parse_delay", "parse_barrier"]
 
 _SAGA_ALGOS = {"saga", "asaga"}
 
@@ -129,9 +129,14 @@ class ExperimentSpec:
 
 @dataclass
 class ExperimentResult:
-    """Lightweight, figure-ready summary of one run."""
+    """Lightweight, figure-ready summary of one run.
 
-    spec: ExperimentSpec
+    ``spec`` is whichever spec flavor drove the cell: a bench
+    :class:`ExperimentSpec` (``run_experiment``) or an api
+    :class:`repro.api.ExperimentSpec` (``run_api_experiment``).
+    """
+
+    spec: object
     final_error: float
     initial_error: float
     elapsed_ms: float
@@ -155,15 +160,8 @@ class ExperimentResult:
         return self.initial_error * rel
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Execute one cell on a fresh simulated cluster via the spec layer."""
-    if not isinstance(spec, ExperimentSpec):
-        raise ReproError(
-            "bench run_experiment expects a repro.bench.harness."
-            f"ExperimentSpec, got {type(spec).__name__}; for api specs or "
-            "dicts use repro.api.run_experiment"
-        )
-    prep = prepare_experiment(spec.to_api_spec())
+def _result_from_prep(prep, spec) -> ExperimentResult:
+    """Run a prepared experiment and package the figure-ready summary."""
     problem = prep.problem
     with prep.make_context() as ctx:
         result = prep.run_in(ctx)
@@ -173,7 +171,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         return ExperimentResult(
             spec=spec,
             final_error=float(problem.error(result.w)),
-            initial_error=float(problem.error(problem.initial_point())),
+            initial_error=float(problem.initial_error()),
             elapsed_ms=result.elapsed_ms,
             updates=result.updates,
             rounds=result.rounds,
@@ -185,3 +183,27 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
             total_fetch_bytes=ctx.dispatcher.total_fetch_bytes,
             extras=dict(result.extras),
         )
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one cell on a fresh simulated cluster via the spec layer."""
+    if not isinstance(spec, ExperimentSpec):
+        raise ReproError(
+            "bench run_experiment expects a repro.bench.harness."
+            f"ExperimentSpec, got {type(spec).__name__}; for api specs or "
+            "dicts use repro.api.run_experiment"
+        )
+    return _result_from_prep(prepare_experiment(spec.to_api_spec()), spec)
+
+
+def run_api_experiment(spec) -> ExperimentResult:
+    """Cell runner for the parallel sweep engine (``runner="bench"``).
+
+    Takes an api :class:`~repro.api.ExperimentSpec` (or its dict form),
+    prepares it through the per-process shared-component cache, and
+    returns the picklable figure-ready :class:`ExperimentResult`.
+    """
+    from repro.api.parallel import prepare_shared
+
+    prep = prepare_shared(spec)
+    return _result_from_prep(prep, prep.spec)

@@ -108,9 +108,20 @@ class Problem(ABC):
     def f_star(self) -> float:
         return self.objective(self.w_star)
 
+    @cached_property
+    def f_initial(self) -> float:
+        """``F(w0)`` at the canonical initial point, cached alongside
+        ``f_star`` — sweep cells sharing a problem pay the full-dataset
+        pass once instead of once per cell."""
+        return self.objective(self.initial_point())
+
     def error(self, w: np.ndarray) -> float:
         """Suboptimality ``F(w) - F*`` (the paper's y-axis)."""
         return max(self.objective(w) - self.f_star, 0.0)
+
+    def initial_error(self) -> float:
+        """``F(w0) - F*`` from the cached endpoints (summary fast path)."""
+        return max(self.f_initial - self.f_star, 0.0)
 
 
 @register_problem("least_squares", aliases=("ls",))

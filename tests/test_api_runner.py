@@ -217,6 +217,9 @@ def test_grid_sweep_shares_dataset_and_problem_across_cells():
         solve_calls.append(1)
         return orig_solve(self)
 
+    from repro.api.parallel import clear_shared_cache
+
+    clear_shared_cache()  # the per-process slot may hold tiny_dense already
     with mock.patch.object(data_registry.DatasetSpec, "generate",
                            counting_generate), \
          mock.patch.object(LeastSquaresProblem, "solve_optimum",

@@ -55,6 +55,69 @@ def test_sweep_writes_one_summary_per_cell(tmp_path, capsys):
     assert [r["spec"]["barrier"] for r in results] == ["asp", "ssp:2"]
 
 
+def _write_grid(path, max_updates=10):
+    path.write_text(json.dumps({
+        "base": {
+            "algorithm": "asgd", "dataset": "tiny_dense", "num_workers": 4,
+            "num_partitions": 8, "max_updates": max_updates, "eval_every": 5,
+            "seed": 0,
+        },
+        "grid": {"barrier": ["asp", "ssp:2", "bsp"]},
+    }))
+
+
+def test_sweep_jobs_matches_serial(tmp_path):
+    spec = tmp_path / "grid.json"
+    _write_grid(spec)
+    serial_out = tmp_path / "serial.json"
+    parallel_out = tmp_path / "parallel.json"
+    assert main(["sweep", str(spec), "--out", str(serial_out)]) == 0
+    assert main(["sweep", str(spec), "--jobs", "2",
+                 "--out", str(parallel_out)]) == 0
+    assert (json.loads(serial_out.read_text())
+            == json.loads(parallel_out.read_text()))
+
+
+def test_sweep_streams_default_checkpoint_and_resumes(tmp_path, capsys):
+    spec = tmp_path / "grid.json"
+    _write_grid(spec)
+    out = tmp_path / "results.json"
+    assert main(["sweep", str(spec), "--out", str(out)]) == 0
+    ckpt = tmp_path / "grid.ckpt.jsonl"  # default: next to the spec
+    lines = ckpt.read_text().splitlines()
+    assert len(lines) == 3
+    full = json.loads(out.read_text())
+
+    # Simulate an interrupt: keep one completed cell, drop --out.
+    ckpt.write_text(lines[0] + "\n")
+    out.unlink()
+    capsys.readouterr()
+    assert main(["sweep", str(spec), "--jobs", "2", "--resume",
+                 "--out", str(out)]) == 0
+    assert "resume" in capsys.readouterr().out
+    assert json.loads(out.read_text()) == full
+    assert len(ckpt.read_text().splitlines()) == 3
+
+
+def test_sweep_no_checkpoint_conflicts_are_clean_errors(tmp_path, capsys):
+    spec = tmp_path / "grid.json"
+    _write_grid(spec)
+    assert main(["sweep", str(spec), "--resume", "--no-checkpoint"]) == 2
+    assert "--resume and --no-checkpoint" in capsys.readouterr().err
+    assert main(["sweep", str(spec), "--checkpoint", str(tmp_path / "c.jsonl"),
+                 "--no-checkpoint"]) == 2
+    assert "--checkpoint and --no-checkpoint" in capsys.readouterr().err
+    assert not (tmp_path / "grid.ckpt.jsonl").exists()
+
+
+def test_sweep_resume_from_stdin_needs_explicit_checkpoint(tmp_path, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("{}"))
+    assert main(["sweep", "-", "--resume"]) == 2
+    assert "--resume needs a checkpoint" in capsys.readouterr().err
+
+
 def test_list_prints_registries(capsys):
     assert main(["list"]) == 0
     printed = capsys.readouterr().out

@@ -146,11 +146,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     import repro.api.runner  # noqa: F401  (populates every registry)
     from repro.api import BARRIERS, DELAY_MODELS, OPTIMIZERS, PROBLEMS, STEPS
-    from repro.data.registry import list_datasets
+    from repro.data.registry import REGISTRY, list_datasets
 
     for registry in (OPTIMIZERS, PROBLEMS, BARRIERS, STEPS, DELAY_MODELS):
         print(f"{registry.kind}s: {', '.join(registry.names())}")
     print(f"datasets: {', '.join(list_datasets())}")
+    for name in list_datasets():
+        spec = REGISTRY[name]
+        print(
+            f"  {name}: n={spec.n} d={spec.d} "
+            f"{'sparse' if spec.sparse else 'dense'} {spec.task}"
+        )
+    print(
+        'datasets also accept file specs: '
+        '{"name": "libsvm", "path": "<file>"}'
+    )
+    print("granularities: worker, partition")
     return 0
 
 

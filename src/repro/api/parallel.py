@@ -55,10 +55,16 @@ def run_key(spec: ExperimentSpec | Mapping[str, Any]) -> str:
 
 
 def group_key(spec: ExperimentSpec) -> tuple:
-    """Cells with equal group keys share a dataset and a solved problem."""
+    """Cells with equal group keys share a dataset and a solved problem.
+
+    Components go through :func:`~repro.api.runner.component_key` so dict
+    specs (e.g. libsvm datasets) key stably and sort against plain names.
+    """
     from repro.api.runner import component_key
 
-    return (spec.dataset, spec.seed, component_key(spec.problem))
+    return (
+        component_key(spec.dataset), spec.seed, component_key(spec.problem)
+    )
 
 
 # Per-process one-slot cache of the shareable (expensive) components: the
@@ -92,7 +98,7 @@ def prepare_shared(spec: ExperimentSpec | Mapping[str, Any]):
     from repro.data.registry import get_dataset
 
     spec = ExperimentSpec.coerce(spec)
-    dataset_key = (spec.dataset, spec.seed)
+    dataset_key = (component_key(spec.dataset), spec.seed)
     if dataset_key != _SHARED["dataset_key"]:
         _SHARED["dataset_key"] = dataset_key
         _SHARED["dataset"] = get_dataset(spec.dataset, seed=spec.seed)
@@ -155,6 +161,7 @@ def run_cells(
     runner: str = "summary",
     jobs: int = 1,
     on_result: Callable[[int, Any], None] | None = None,
+    executor: ProcessPoolExecutor | None = None,
 ) -> list[Any]:
     """Execute independent experiment cells; results in *input* order.
 
@@ -163,9 +170,14 @@ def run_cells(
     lands — the checkpoint/stream hook. A failing cell propagates its
     exception after cancelling unstarted work; cells already reported
     through ``on_result`` are not lost.
+
+    ``executor`` lends an already-running ``ProcessPoolExecutor`` (its
+    worker count overrides ``jobs``); the caller keeps ownership — the
+    pool is *not* shut down here, so batch after batch reuses the same
+    warm workers (and their per-process dataset/problem caches).
     """
     specs = [ExperimentSpec.coerce(s) for s in specs]
-    jobs = resolve_jobs(jobs)
+    jobs = executor._max_workers if executor is not None else resolve_jobs(jobs)
     results: list[Any] = [None] * len(specs)
     # Execute/submit same-group cells adjacently: the one-slot
     # prepare_shared cache then pays for each dataset and reference
@@ -173,7 +185,7 @@ def run_cells(
     # the serial loop directly, and in the pool because workers pulling
     # from one shared queue each see a contiguous run of one group.
     order = sorted(range(len(specs)), key=lambda i: (group_key(specs[i]), i))
-    if jobs <= 1 or len(specs) <= 1:
+    if executor is None and (jobs <= 1 or len(specs) <= 1):
         cell = resolve_runner(runner)
         try:
             for i in order:
@@ -186,7 +198,8 @@ def run_cells(
             # the pool below).
             clear_shared_cache()
         return results
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+
+    def drain(pool: ProcessPoolExecutor) -> None:
         futures = [
             pool.submit(_execute_cell, runner, i, specs[i].to_dict())
             for i in order
@@ -209,6 +222,12 @@ def run_cells(
                         other.cancel()
         if failure is not None:
             raise failure
+
+    if executor is not None:
+        drain(executor)
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            drain(pool)
     return results
 
 

@@ -93,6 +93,11 @@ class Registry:
     def names(self) -> list[str]:
         return sorted(self._factories)
 
+    def canonical(self, name: str) -> str:
+        """Resolve an alias to its registered name (unknown names pass
+        through for the caller's own error handling)."""
+        return self._aliases.get(name, name)
+
     def __contains__(self, name: str) -> bool:
         return name in self._factories or name in self._aliases
 

@@ -53,7 +53,11 @@ __all__ = [
 ]
 
 _SAGA_FAMILY = {"saga", "asaga"}
-_CONSTANT_FAMILY = {"saga", "asaga", "svrg", "asvrg", "admm", "aadmm"}
+_CONSTANT_FAMILY = {"saga", "asaga", "svrg", "asvrg", "admm", "aadmm", "fedavg"}
+#: Methods whose step schedule drives *client-local* updates (federated
+#: local SGD): each result is an averaged local model, not an additive
+#: gradient step, so the paper's divide-by-P async scaling does not apply.
+_LOCAL_UPDATE_FAMILY = {"fedavg"}
 
 
 def default_step(
@@ -78,10 +82,20 @@ def default_step(
     from repro.optim.stepsize import ConstantStep, InvSqrtDecay, StalenessScaled
 
     cls = OPTIMIZERS.get(algorithm)  # raises ApiError for unknown names
+    algorithm = OPTIMIZERS.canonical(algorithm)  # family sets hold canon names
     if algorithm in _CONSTANT_FAMILY:
         step: StepSchedule = ConstantStep(alpha0)
     else:
         step = InvSqrtDecay(alpha0)
+    if algorithm in _LOCAL_UPDATE_FAMILY:
+        if staleness_adaptive:
+            raise ApiError(
+                f"staleness_adaptive has no effect on {algorithm!r}: its "
+                "step schedule drives client-local updates and the server "
+                "update is an average; drop the flag or pick a gradient-"
+                "step method"
+            )
+        return step  # client-local steps; server updates are averages
     if getattr(cls, "is_async", False):
         if staleness_adaptive:
             step = StalenessScaled(step)
@@ -160,10 +174,11 @@ def prepare_experiment(
     problem = _problem or PROBLEMS.create(
         spec.problem, defaults={"X": X, "y": y}, expect=Problem
     )
+    algo = OPTIMIZERS.canonical(spec.algorithm)  # family sets hold canon names
 
     if spec.batch_fraction is not None:
         b = spec.batch_fraction
-    elif spec.algorithm in _SAGA_FAMILY:
+    elif algo in _SAGA_FAMILY:
         b = dspec.b_saga
     else:
         b = dspec.b_sgd
@@ -184,8 +199,7 @@ def prepare_experiment(
         alpha0 = spec.alpha0
         if alpha0 is None:
             alpha0 = (
-                dspec.alpha_saga if spec.algorithm in _SAGA_FAMILY
-                else dspec.alpha_sgd
+                dspec.alpha_saga if algo in _SAGA_FAMILY else dspec.alpha_sgd
             )
         step = default_step(
             spec.algorithm, alpha0, spec.num_workers, spec.staleness_adaptive
@@ -201,6 +215,14 @@ def prepare_experiment(
                 "asynchronous variant"
             )
         barrier = BARRIERS.create(spec.barrier, expect=BarrierPolicy)
+    if spec.granularity != "worker" and not getattr(
+        OPTIMIZERS.get(spec.algorithm), "is_async", False
+    ):
+        raise ApiError(
+            f"granularity {spec.granularity!r} has no effect on the "
+            f"synchronous optimizer {spec.algorithm!r}; drop it or use an "
+            "asynchronous variant"
+        )
     delay = DELAY_MODELS.create(
         spec.delay,
         defaults={"num_workers": spec.num_workers, "seed": spec.seed},
@@ -217,6 +239,7 @@ def prepare_experiment(
             seed=spec.seed,
             step_time=spec.step_time,
             pipeline_depth=spec.pipeline_depth,
+            granularity=spec.granularity,
         )
     except (TypeError, ValueError) as exc:
         # OptimError (bad values) is already a ReproError; this catches

@@ -42,7 +42,9 @@ class ExperimentSpec:
     """
 
     algorithm: str = "asgd"
-    dataset: str = "tiny_dense"
+    #: A registered dataset name, or a dict spec for file-backed data
+    #: (``{"name": "libsvm", "path": "...", ...}``).
+    dataset: Any = "tiny_dense"
     problem: Any = "least_squares"
     num_workers: int = 4
     #: ``None`` -> two partitions per worker.
@@ -65,6 +67,11 @@ class ExperimentSpec:
     seed: int = 0
     step_time: str = "pass"
     pipeline_depth: int = 1
+    #: Schedulable unit for asynchronous rounds: "worker" (default, the
+    #: paper's model) or "partition" (one task per partition, results
+    #: tagged with partition identity). Partition-only algorithms
+    #: (hogwild, fedavg) pin their granularity regardless.
+    granularity: str = "worker"
     #: Extra optimizer-constructor kwargs (``mode``, ``inner_iterations``,
     #: ``rho``, ...).
     params: dict = field(default_factory=dict)

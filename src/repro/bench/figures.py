@@ -9,7 +9,9 @@ Drivers are spec-routed: every figure's cells are expressed as api
 axis carries a dependent parameter, e.g. the per-dataset PCS batch
 fraction) and execute through the shared sweep engine in
 :mod:`repro.api.parallel` — call :func:`set_jobs` to fan cells across a
-process pool. Results are memoized in a per-process cache keyed on each
+*persistent* process pool (one executor stays warm across driver
+batches; :func:`shutdown_pool` releases it). Results are memoized in a
+per-process cache keyed on each
 cell's canonical spec JSON (:func:`repro.api.parallel.run_key`), so
 figure pairs sharing runs (Fig 3 & 4; Fig 5 & 6; Fig 7/8 & Table 3) pay
 for them once and the cache identity survives process boundaries.
@@ -21,8 +23,10 @@ paper-scale curves.
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import math
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.api.parallel import run_cells, run_key
 from repro.api.spec import GridSpec
@@ -44,7 +48,9 @@ __all__ = [
     "ablation_broadcast",
     "ablation_barriers",
     "ablation_staleness_lr",
+    "ablation_granularity",
     "set_jobs",
+    "shutdown_pool",
     "clear_cache",
 ]
 
@@ -59,12 +65,49 @@ _RESULTS: dict[str, ExperimentResult] = {}
 _CACHE_MAX = 256
 #: Worker processes for cell execution (1 = in-process, <= 0 = all cores).
 _JOBS = 1
+#: The persistent pool shared by every driver batch (lazily created on
+#: first parallel batch, kept warm until ``set_jobs`` changes the size or
+#: ``shutdown_pool`` / interpreter exit).
+_POOL: ProcessPoolExecutor | None = None
 
 
 def set_jobs(jobs: int) -> None:
-    """Fan subsequent figure cells across ``jobs`` worker processes."""
+    """Fan subsequent figure cells across ``jobs`` worker processes.
+
+    One ``ProcessPoolExecutor`` stays alive across driver batches (so
+    consecutive figures reuse warm workers and their per-process
+    dataset/problem caches) until the size changes or
+    :func:`shutdown_pool` is called. ``jobs=1`` returns to in-process
+    execution and releases any pool.
+    """
     global _JOBS
+    from repro.api.parallel import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    if jobs != _JOBS:
+        shutdown_pool()
     _JOBS = jobs
+
+
+def _pool() -> ProcessPoolExecutor | None:
+    """The shared executor for the current ``set_jobs`` setting."""
+    global _POOL
+    if _JOBS <= 1:
+        return None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=_JOBS)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Release the persistent worker pool (no-op when none is running)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+
+
+atexit.register(shutdown_pool)
 
 
 def clear_cache() -> None:
@@ -88,7 +131,10 @@ def _run_specs(api_specs) -> list[ExperimentResult]:
         if key not in have and key not in todo:
             todo[key] = spec
     if todo:
-        results = run_cells(list(todo.values()), runner="bench", jobs=_JOBS)
+        results = run_cells(
+            list(todo.values()), runner="bench", jobs=_JOBS,
+            executor=_pool(),
+        )
         for key, result in zip(todo.keys(), results):
             have[key] = result
             _cache_put(key, result)
@@ -618,6 +664,65 @@ def ablation_barriers(
     if verbose:
         print(format_table(out["headers"], rows,
                            title=f"Ablation - barrier control under {delay}"))
+    return out
+
+
+def ablation_granularity(
+    dataset: str = "mnist8m_like",
+    updates: int = 480,
+    delay: str = "cds:0.6",
+    num_workers: int = 8,
+    num_partitions: int = 32,
+    local_steps: int = 4,
+    seed: int = 0,
+    verbose: bool = True,
+) -> dict:
+    """Dispatch granularities compared: per-worker rounds vs per-partition
+    streams.
+
+    Four cells under the same straggler model: ASGD at worker granularity
+    (the paper's model), the same ASGD mathematics at partition
+    granularity (no worker-local combine), Hogwild-style immediate
+    per-partition application, and federated averaging (``local_steps``
+    local updates per partition, slot average on collect) — the two
+    workloads only expressible once the pipeline speaks in partitions.
+    """
+    base = ExperimentSpec(
+        dataset=dataset, algorithm="asgd", delay=delay,
+        num_workers=num_workers, num_partitions=num_partitions,
+        max_updates=updates, seed=seed,
+    ).to_api_spec()
+    cells_spec = {
+        "asgd/worker": base,
+        "asgd/partition": base.with_overrides(granularity="partition"),
+        "hogwild": base.with_overrides(algorithm="hogwild"),
+        "fedavg": base.with_overrides(
+            algorithm="fedavg", params={"local_steps": local_steps},
+        ),
+    }
+    results = _run_specs(list(cells_spec.values()))
+    rows = []
+    cells = {}
+    for label, res in zip(cells_spec, results):
+        target = res.initial_error * REGISTRY[dataset].target_rel
+        rows.append([
+            label, res.elapsed_ms, res.updates,
+            res.extras.get("collected", res.updates),
+            res.time_to_error(max(target, res.final_error * 1.05)),
+            res.final_error,
+            res.extras.get("max_partition_staleness_seen",
+                           res.extras.get("max_staleness_seen", "")),
+        ])
+        cells[label] = res
+    out = {
+        "headers": ["granularity", "time (ms)", "updates", "collected",
+                    "t_target(ms)", "err", "max staleness"],
+        "rows": rows,
+        "cells": cells,
+    }
+    if verbose:
+        print(format_table(out["headers"], rows,
+                           title=f"Ablation - dispatch granularity under {delay}"))
     return out
 
 

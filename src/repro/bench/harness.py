@@ -68,6 +68,10 @@ class ExperimentSpec:
     svrg_inner: int = 10
     staleness_adaptive: bool = False
     pipeline_depth: int = 1
+    #: Submission unit for async rounds: "worker" or "partition".
+    granularity: str = "worker"
+    #: Local SGD steps per partition for the federated cells.
+    local_steps: int = 4
     #: Analytic cost model knobs (ms); chosen so a mini-batch task costs a
     #: few ms, like the paper's per-iteration times.
     cost_overhead_ms: float = 1.0
@@ -97,6 +101,8 @@ class ExperimentSpec:
             params["mode"] = self.saga_mode
         if self.algorithm in ("svrg", "asvrg"):
             params["inner_iterations"] = self.svrg_inner
+        if self.algorithm in ("fedavg", "localsgd"):
+            params["local_steps"] = self.local_steps
         return ApiSpec(
             algorithm=self.algorithm,
             dataset=self.dataset,
@@ -115,6 +121,7 @@ class ExperimentSpec:
             eval_every=self.eval_every,
             seed=self.seed,
             pipeline_depth=self.pipeline_depth,
+            granularity=self.granularity,
             params=params,
             cost={
                 "overhead_ms": self.cost_overhead_ms,

@@ -31,11 +31,17 @@ __all__ = ["BackendTask", "TaskMetrics", "WorkerEnv", "Backend", "CompletionCall
 
 @dataclass
 class TaskMetrics:
-    """Timing and volume record for one executed task (all times in ms)."""
+    """Timing and volume record for one executed task (all times in ms).
+
+    ``partition`` is the data partition the task covered when it was
+    submitted at partition granularity; ``-1`` for worker-granular tasks
+    (one locally-reduced task over all of a worker's partitions).
+    """
 
     task_id: int
     worker_id: int
     job_id: int = -1
+    partition: int = -1
     submitted_ms: float = 0.0
     started_ms: float = 0.0
     finished_ms: float = 0.0
@@ -62,7 +68,9 @@ class BackendTask:
     models; ``in_bytes`` the driver->worker payload size (task description
     plus any broadcast value shipped alongside, per the engine's
     accounting). ``tag`` is opaque engine context carried through to the
-    completion callback.
+    completion callback. ``partition`` identifies the single data
+    partition a partition-granular task covers (``None`` for
+    worker-granular tasks); backends stamp it into the task's metrics.
     """
 
     task_id: int
@@ -70,7 +78,13 @@ class BackendTask:
     cost_units: float = 0.0
     in_bytes: int = 0
     tag: Any = None
+    partition: int | None = None
     out_bytes_of: Callable[[Any], int] = field(default=sizeof_bytes)
+
+    @property
+    def metrics_partition(self) -> int:
+        """The partition id as recorded in :class:`TaskMetrics` (-1 = none)."""
+        return -1 if self.partition is None else self.partition
 
 
 CompletionCallback = Callable[

@@ -107,6 +107,7 @@ class SimBackend(Backend):
         metrics = TaskMetrics(
             task_id=task.task_id,
             worker_id=worker_id,
+            partition=task.metrics_partition,
             submitted_ms=submitted,
             in_bytes=task.in_bytes,
         )
@@ -222,6 +223,7 @@ class SimBackend(Backend):
             metrics = TaskMetrics(
                 task_id=task_id,
                 worker_id=worker_id,
+                partition=task.metrics_partition,
                 submitted_ms=submitted,
                 delivered_ms=now + self.network.latency_ms,
             )

@@ -96,6 +96,7 @@ class ThreadBackend(Backend):
             metrics = TaskMetrics(
                 task_id=task.task_id,
                 worker_id=worker_id,
+                partition=task.metrics_partition,
                 submitted_ms=submitted_ms,
                 in_bytes=task.in_bytes,
             )

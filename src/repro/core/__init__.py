@@ -32,7 +32,7 @@ from repro.core.barriers import (
 from repro.core.broadcaster import AsyncBroadcaster, HistoryBroadcast
 from repro.core.context import ASYNCContext
 from repro.core.coordinator import Coordinator
-from repro.core.records import TaskResultRecord, WorkerStatus
+from repro.core.records import PartitionStatus, TaskResultRecord, WorkerStatus
 from repro.core.scheduler import AsyncScheduler
 from repro.core.stat import StatTable
 
@@ -45,6 +45,7 @@ __all__ = [
     "StatTable",
     "TaskResultRecord",
     "WorkerStatus",
+    "PartitionStatus",
     "BarrierPolicy",
     "ASP",
     "BSP",

@@ -52,14 +52,22 @@ class Coordinator:
         self.stat.current_version += count
 
     # -- task lifecycle ----------------------------------------------------------
-    def on_assigned(self, worker_id: int, version: int) -> None:
-        """A task was dispatched to a worker computing at ``version``."""
+    def on_assigned(
+        self, worker_id: int, version: int, partition: int | None = None
+    ) -> None:
+        """A task was dispatched to a worker computing at ``version``.
+
+        ``partition`` identifies the single data partition a
+        partition-granular task covers; its STAT row is then maintained
+        alongside the worker's.
+        """
         w = self.stat[worker_id]
-        w.in_flight += 1
+        w.note_assigned(version)
         w.available = w.alive and w.in_flight < self.pipeline_depth
-        # Track the *oldest* in-flight version: staleness is pessimistic.
-        if w.computing_version is None:
-            w.computing_version = version
+        if partition is not None:
+            self.stat.partition_row(partition, owner=worker_id).note_assigned(
+                version
+            )
 
     def on_result(
         self,
@@ -71,13 +79,16 @@ class Coordinator:
         *,
         version: int,
         batch_size: int,
+        partition: int | None = None,
     ) -> None:
         """Annotate and enqueue a completed task (or record its failure)."""
         w = self.stat[worker_id]
-        w.in_flight = max(w.in_flight - 1, 0)
+        w.note_done()
         w.available = w.alive and w.in_flight < self.pipeline_depth
-        if w.in_flight == 0:
-            w.computing_version = None
+        prow = None
+        if partition is not None:
+            prow = self.stat.partition_row(partition)
+            prow.note_done()
 
         if error is not None:
             if isinstance(error, WorkerLostError):
@@ -97,10 +108,11 @@ class Coordinator:
             return
 
         staleness = self.version - version
-        w.last_staleness = staleness
-        w.tasks_completed += 1
-        w.last_delivered_ms = metrics.delivered_ms
-        w.completion.add(metrics.delivered_ms - metrics.submitted_ms)
+        w.note_completion(staleness, metrics.submitted_ms, metrics.delivered_ms)
+        if prow is not None:
+            prow.note_completion(
+                staleness, metrics.submitted_ms, metrics.delivered_ms
+            )
 
         self.results.append(
             TaskResultRecord(
@@ -114,6 +126,7 @@ class Coordinator:
                 delivered_ms=metrics.delivered_ms,
                 compute_ms=metrics.compute_ms,
                 job_id=metrics.job_id,
+                partition=partition,
             )
         )
 
@@ -132,6 +145,10 @@ class Coordinator:
         record = self.results.popleft()
         record.staleness = self.version - record.version
         self.stat[record.worker_id].last_staleness = record.staleness
+        if record.partition is not None:
+            self.stat.partition_row(record.partition).last_staleness = (
+                record.staleness
+            )
         self.collected += 1
         return record
 

@@ -126,8 +126,10 @@ def async_reduce(
 
     Returns immediately (after the barrier admits the round) with the list
     of workers that received tasks; results arrive via ``ac.collect()``.
-    ``granularity="partition"`` reproduces Glint's model (no worker-local
-    combine) for comparison.
+    ``granularity="partition"`` makes each partition its own task: no
+    worker-local combine, one result per partition, each tagged with its
+    partition id — the stream partition-granular update rules (Hogwild,
+    federated averaging) consume.
     """
     policy = find_barrier(rdd) or ac.default_barrier
     return ac.scheduler.submit_round(
@@ -141,9 +143,11 @@ def async_aggregate(
     seq_op: Callable[[Any, Any], Any],
     comb_op: Callable[[Any, Any], Any],
     ac: "ASYNCContext",
+    granularity: str = "worker",
 ) -> list[int]:
     """Worker-local aggregate with a neutral zero value (Table 1)."""
     policy = find_barrier(rdd) or ac.default_barrier
     return ac.scheduler.submit_round(
-        rdd, _worker_aggregate_factory(rdd, zero, seq_op, comb_op), policy
+        rdd, _worker_aggregate_factory(rdd, zero, seq_op, comb_op), policy,
+        granularity,
     )

@@ -14,7 +14,7 @@ from typing import Any
 
 from repro.utils.stats import OnlineMean
 
-__all__ = ["TaskResultRecord", "WorkerStatus"]
+__all__ = ["TaskResultRecord", "WorkerStatus", "PartitionStatus"]
 
 
 @dataclass
@@ -29,6 +29,8 @@ class TaskResultRecord:
     staleness: updates applied between task submission and delivery.
     batch_size: number of elements locally reduced into ``value``.
     submitted_ms / delivered_ms / compute_ms: timing attributes.
+    partition: the data partition the task covered when it was submitted
+        at partition granularity (``None`` for worker-granular tasks).
     """
 
     value: Any
@@ -41,6 +43,7 @@ class TaskResultRecord:
     delivered_ms: float
     compute_ms: float
     job_id: int = -1
+    partition: int | None = None
 
     @property
     def turnaround_ms(self) -> float:
@@ -49,23 +52,65 @@ class TaskResultRecord:
 
 
 @dataclass
-class WorkerStatus:
-    """One worker's row in the STAT table."""
+class TaskTrackingStatus:
+    """Shared task-lifecycle bookkeeping for one STAT row.
 
-    worker_id: int
-    alive: bool = True
-    available: bool = True
-    in_flight: int = 0
-    computing_version: int | None = None
-    last_staleness: int = 0
-    tasks_completed: int = 0
-    last_delivered_ms: float = 0.0
-    completion: OnlineMean = field(default_factory=OnlineMean)
+    Both grains of the STAT table — per-worker rows and per-partition
+    rows — track the same quantities per task: in-flight count, the
+    oldest in-flight model version (staleness is pessimistic), the last
+    observed staleness, and completion statistics. The coordinator
+    drives rows of either grain through the three ``note_*`` hooks.
+    """
+
+    in_flight: int = field(default=0, kw_only=True)
+    computing_version: int | None = field(default=None, kw_only=True)
+    last_staleness: int = field(default=0, kw_only=True)
+    tasks_completed: int = field(default=0, kw_only=True)
+    last_delivered_ms: float = field(default=0.0, kw_only=True)
+    completion: OnlineMean = field(default_factory=OnlineMean, kw_only=True)
 
     @property
     def avg_completion_ms(self) -> float:
         """Average task turnaround (assignment to result submission)."""
         return self.completion.value
+
+    def note_assigned(self, version: int) -> None:
+        """A task computing at ``version`` was dispatched to this row."""
+        self.in_flight += 1
+        if self.computing_version is None:
+            self.computing_version = version
+
+    def note_done(self) -> None:
+        """A task of this row finished (successfully or not)."""
+        self.in_flight = max(self.in_flight - 1, 0)
+        if self.in_flight == 0:
+            self.computing_version = None
+
+    def note_completion(self, staleness: int, submitted_ms: float,
+                        delivered_ms: float) -> None:
+        """Record a successful result's staleness and timing."""
+        self.last_staleness = staleness
+        self.tasks_completed += 1
+        self.last_delivered_ms = delivered_ms
+        self.completion.add(delivered_ms - submitted_ms)
+
+    def _tracking_snapshot(self) -> dict:
+        return {
+            "in_flight": self.in_flight,
+            "computing_version": self.computing_version,
+            "last_staleness": self.last_staleness,
+            "tasks_completed": self.tasks_completed,
+            "avg_completion_ms": self.avg_completion_ms,
+        }
+
+
+@dataclass
+class WorkerStatus(TaskTrackingStatus):
+    """One worker's row in the STAT table."""
+
+    worker_id: int
+    alive: bool = True
+    available: bool = True
 
     def snapshot(self) -> dict:
         """A plain-dict view for user-side barrier predicates / logging."""
@@ -73,9 +118,28 @@ class WorkerStatus:
             "worker_id": self.worker_id,
             "alive": self.alive,
             "available": self.available,
-            "in_flight": self.in_flight,
-            "computing_version": self.computing_version,
-            "last_staleness": self.last_staleness,
-            "tasks_completed": self.tasks_completed,
-            "avg_completion_ms": self.avg_completion_ms,
+            **self._tracking_snapshot(),
+        }
+
+
+@dataclass
+class PartitionStatus(TaskTrackingStatus):
+    """One data partition's row in the STAT table.
+
+    Maintained only for tasks submitted at partition granularity: each
+    partition-granular task updates both its worker's row and its
+    partition's row, so staleness and completion statistics exist at the
+    finer grain Hogwild-style and federated update rules schedule on.
+    ``owner`` is the worker the partition's tasks ran on most recently.
+    """
+
+    partition_id: int
+    owner: int = -1
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (the per-partition analog of WorkerStatus)."""
+        return {
+            "partition_id": self.partition_id,
+            "owner": self.owner,
+            **self._tracking_snapshot(),
         }

@@ -1,11 +1,17 @@
 """ASYNCscheduler (Section 4.4).
 
-Dispatches one locally-reducing task per eligible worker, where
-eligibility is decided by a barrier-control policy over the live STAT
-table. ``submit_round`` blocks (advancing backend time) until the policy's
-``ready`` predicate holds, then ships tasks to the workers the policy
-selects — the mechanism behind ASP / BSP / SSP and the user-defined
-filters of Listing 2.
+Dispatches tasks to eligible workers, where eligibility is decided by a
+barrier-control policy over the live STAT table. ``submit_round`` blocks
+(advancing backend time) until the policy's ``ready`` predicate holds,
+then ships tasks to the workers the policy selects — the mechanism behind
+ASP / BSP / SSP and the user-defined filters of Listing 2.
+
+The schedulable unit is selectable: at ``granularity="worker"`` (the
+paper's model) each eligible worker receives one locally-reducing task
+over all of its partitions; at ``granularity="partition"`` each resident
+partition becomes its own task carrying its partition identity through
+the dispatcher, backend metrics, STAT rows and result records — the
+stream Hogwild-style and federated update rules consume.
 """
 
 from __future__ import annotations
@@ -34,6 +40,8 @@ class AsyncScheduler:
         self.in_flight = 0
         self.rounds = 0
         self.tasks_submitted = 0
+        #: Subset of ``tasks_submitted`` that carried partition identity.
+        self.partition_tasks_submitted = 0
 
     def submit_round(
         self,
@@ -49,8 +57,10 @@ class AsyncScheduler:
         - ``"worker"`` (default, the paper's model): one task per worker
           covering all of its local partitions, locally reduced before
           submission — the capability the paper notes Glint lacks.
-        - ``"partition"`` (Glint-style): one task per partition; every
-          partition ships its own result to the server unreduced.
+        - ``"partition"``: one task per partition; every partition ships
+          its own result to the server tagged with its partition id, and
+          the STAT table grows per-partition rows — the unit Hogwild-style
+          and federated (local-update) methods schedule on.
 
         Returns the workers that received task(s) this round (possibly
         empty if the policy's filter excluded everyone).
@@ -92,7 +102,8 @@ class AsyncScheduler:
                 else:
                     for split in splits:
                         self._dispatch(
-                            w, make_fn(w, [split]), version, job_id
+                            w, make_fn(w, [split]), version, job_id,
+                            partition=split,
                         )
         self.rounds += 1
         return targets
@@ -103,11 +114,14 @@ class AsyncScheduler:
         fn: Callable[[WorkerEnv], tuple[Any, int]],
         version: int,
         job_id: int,
+        partition: int | None = None,
     ) -> None:
         ac = self.ac
         self.in_flight += 1
         self.tasks_submitted += 1
-        ac.coordinator.on_assigned(worker_id, version)
+        if partition is not None:
+            self.partition_tasks_submitted += 1
+        ac.coordinator.on_assigned(worker_id, version, partition=partition)
 
         def cont(
             task_id: int,
@@ -122,11 +136,13 @@ class AsyncScheduler:
                 ac.coordinator.on_result(
                     task_id, wid, payload, metrics, None,
                     version=version, batch_size=count,
+                    partition=partition,
                 )
             else:
                 ac.coordinator.on_result(
                     task_id, wid, None, metrics, error,
                     version=version, batch_size=0,
+                    partition=partition,
                 )
 
         ac.ctx.dispatcher.submit(
@@ -135,4 +151,5 @@ class AsyncScheduler:
             on_complete=cont,
             job_id=job_id,
             in_bytes=ac.ctx.task_descriptor_bytes,
+            partition=partition,
         )

@@ -4,6 +4,15 @@ Per-worker status — staleness, average-task-completion time, availability
 — plus the aggregates the paper calls out: the number of available workers
 and the maximum overall worker staleness. Barrier-control policies are
 functions of this table; Listing 2's predicates all read it.
+
+When tasks are submitted at partition granularity, the table additionally
+keeps one :class:`~repro.core.records.PartitionStatus` row per partition
+(created lazily on first dispatch), so staleness and completion
+statistics exist at the grain Hogwild-style and federated update rules
+operate on. Partition rows are a refinement, not a replacement: every
+partition-granular task updates both its worker row and its partition
+row, and the per-partition counters aggregate back to the per-worker
+values.
 """
 
 from __future__ import annotations
@@ -11,7 +20,7 @@ from __future__ import annotations
 import statistics
 from typing import Iterator
 
-from repro.core.records import WorkerStatus
+from repro.core.records import PartitionStatus, WorkerStatus
 
 __all__ = ["StatTable"]
 
@@ -23,6 +32,9 @@ class StatTable:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.workers = [WorkerStatus(w) for w in range(num_workers)]
+        #: Per-partition rows, keyed by partition id; populated lazily by
+        #: the coordinator when tasks carry partition identity.
+        self.partitions: dict[int, PartitionStatus] = {}
         #: Server-side model version (count of applied updates); the
         #: coordinator advances it via ``model_updated``.
         self.current_version = 0
@@ -75,6 +87,50 @@ class StatTable:
         if w.available or w.computing_version is None:
             return 0
         return self.current_version - w.computing_version
+
+    # -- partition rows (partition-granular dispatch) -----------------------------
+    def partition_row(
+        self, partition_id: int, owner: int | None = None
+    ) -> PartitionStatus:
+        """The partition's row, created on first access.
+
+        ``owner`` (when given) refreshes the row's most-recent worker —
+        partitions can migrate across workers after faults.
+        """
+        row = self.partitions.get(partition_id)
+        if row is None:
+            row = PartitionStatus(partition_id)
+            self.partitions[partition_id] = row
+        if owner is not None:
+            row.owner = owner
+        return row
+
+    def partition_rows(self, worker_id: int | None = None) -> list[PartitionStatus]:
+        """All partition rows (or only those owned by ``worker_id``)."""
+        rows = [self.partitions[p] for p in sorted(self.partitions)]
+        if worker_id is None:
+            return rows
+        return [row for row in rows if row.owner == worker_id]
+
+    @property
+    def max_partition_staleness(self) -> int:
+        """Maximum staleness of any in-flight partition-granular task."""
+        worst = 0
+        for row in self.partitions.values():
+            if row.in_flight > 0 and row.computing_version is not None:
+                worst = max(worst, self.current_version - row.computing_version)
+        return worst
+
+    def partition_staleness_of(self, partition_id: int) -> int:
+        """Current staleness of a partition's in-flight task (0 if idle)."""
+        row = self.partitions.get(partition_id)
+        if row is None or row.in_flight == 0 or row.computing_version is None:
+            return 0
+        return self.current_version - row.computing_version
+
+    def partition_snapshot(self) -> list[dict]:
+        """Plain-data view of the partition rows (AC.STAT's finer grain)."""
+        return [row.snapshot() for row in self.partition_rows()]
 
     def mean_completion_ms(self) -> float:
         vals = [

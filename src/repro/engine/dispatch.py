@@ -47,9 +47,15 @@ class Dispatcher:
         job_id: int | None = None,
         cost_units: float = 0.0,
         in_bytes: int = 256,
+        partition: int | None = None,
         out_bytes_of: Callable[[Any], int] | None = None,
     ) -> int:
-        """Submit ``fn`` to ``worker_id``; returns the task id."""
+        """Submit ``fn`` to ``worker_id``; returns the task id.
+
+        ``partition`` tags a partition-granular task with the single data
+        partition it covers; the backend carries it into the task's
+        metrics row, so the metrics log can be sliced per partition.
+        """
         task_id = next(self._task_ids)
         jid = self.new_job_id() if job_id is None else job_id
         task = BackendTask(
@@ -57,6 +63,7 @@ class Dispatcher:
             fn=fn,
             cost_units=cost_units,
             in_bytes=in_bytes,
+            partition=partition,
             out_bytes_of=out_bytes_of or sizeof_bytes,
         )
         self._continuations[task_id] = (jid, on_complete)

@@ -243,15 +243,22 @@ class RDD:
         return async_barrier(self, predicate, stat)
 
     def async_reduce(
-        self, f: Callable[[Any, Any], Any], ac: "ASYNCContext"
+        self,
+        f: Callable[[Any, Any], Any],
+        ac: "ASYNCContext",
+        granularity: str = "worker",
     ) -> list[int]:
-        """Asynchronously reduce per worker; results land in ``ac``.
+        """Asynchronously reduce; results land in ``ac``.
 
-        Returns the workers that received tasks this round.
+        ``granularity`` selects the schedulable unit: ``"worker"``
+        (default) locally reduces each worker's partitions into one
+        result; ``"partition"`` submits one task per partition, each
+        result tagged with its partition id. Returns the workers that
+        received tasks this round.
         """
         from repro.core.ops import async_reduce
 
-        return async_reduce(self, f, ac)
+        return async_reduce(self, f, ac, granularity)
 
     def async_aggregate(
         self,
@@ -259,10 +266,11 @@ class RDD:
         seq_op: Callable[[Any, Any], Any],
         comb_op: Callable[[Any, Any], Any],
         ac: "ASYNCContext",
+        granularity: str = "worker",
     ) -> list[int]:
         from repro.core.ops import async_aggregate
 
-        return async_aggregate(self, zero, seq_op, comb_op, ac)
+        return async_aggregate(self, zero, seq_op, comb_op, ac, granularity)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -7,8 +7,10 @@ Synchronous (Spark-style BSP) and asynchronous (ASYNC) variants of:
   paper criticizes and the history broadcast it contributes,
 - SVRG-style epoch-based variance reduction (Listing 3),
 
-plus staleness-adaptive step sizes (Listing 1) and single-process
-reference implementations used for the MLlib comparison (Figure 2).
+plus staleness-adaptive step sizes (Listing 1), single-process
+reference implementations used for the MLlib comparison (Figure 2), and
+the partition-granular extensions (Hogwild-style immediate updates and
+federated averaging in :mod:`repro.optim.partitioned`).
 
 Asynchronous variants share one driver — :class:`repro.optim.loop.ServerLoop`
 — and contribute only an :class:`repro.optim.loop.UpdateRule` with their
@@ -22,6 +24,12 @@ from repro.optim.asaga import AsyncSAGA
 from repro.optim.asgd import AsyncSGD
 from repro.optim.base import OptimizerConfig, RunResult
 from repro.optim.loop import ServerLoop, UpdateRule
+from repro.optim.partitioned import (
+    FederatedAveraging,
+    HogwildRule,
+    HogwildSGD,
+    LocalSGDRule,
+)
 from repro.optim.problems import (
     LeastSquaresProblem,
     LogisticRegressionProblem,
@@ -64,6 +72,10 @@ __all__ = [
     "AsyncSVRG",
     "SyncADMM",
     "AsyncADMM",
+    "HogwildSGD",
+    "HogwildRule",
+    "FederatedAveraging",
+    "LocalSGDRule",
     "reference_sgd",
     "reference_saga",
 ]

@@ -72,6 +72,12 @@ class OptimizerConfig:
     #: 1 (the paper's model) = a worker is available iff idle; larger
     #: values pipeline submissions across the dispatch round-trip.
     pipeline_depth: int = 1
+    #: Schedulable unit for asynchronous rounds: "worker" (the paper's
+    #: model — one locally-reduced task per worker) or "partition" (one
+    #: task per data partition, results tagged with partition identity).
+    #: Rules that only make sense at one granularity (Hogwild, federated
+    #: averaging) override this.
+    granularity: str = "worker"
 
     def __post_init__(self) -> None:
         if not 0 < self.batch_fraction <= 1:
@@ -84,6 +90,8 @@ class OptimizerConfig:
             raise OptimError("step_time must be 'pass' or 'update'")
         if self.pipeline_depth < 1:
             raise OptimError("pipeline_depth must be >= 1")
+        if self.granularity not in ("worker", "partition"):
+            raise OptimError("granularity must be 'worker' or 'partition'")
 
 
 @dataclass

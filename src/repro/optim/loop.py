@@ -20,11 +20,19 @@ hook                    role
 ``kernel(block, h, s)`` worker-side computation over one data block
 ``reduce(a, b)``        combine two worker-local partials
 ``apply(w, rec, a)``    server-side update; ``None`` skips (e.g. empty batch)
+``on_collect(rec)``     observe every collected record as it streams in
 ``setup(w)``            once, before the metrics window opens (e.g. SAGA init)
 ``begin_epoch(w)``      epoch boundary work for ``epoch_length`` rules (SVRG)
 ``dispatch(h, seed)``   override the whole submission round (ADMM)
 ``extras()``            algorithm-specific entries merged into RunResult.extras
 ======================  ========================================================
+
+The schedulable unit of a round is selectable: a rule (or the config's
+``granularity``) can dispatch one locally-reduced task per *worker* (the
+paper's model, the default) or one task per *partition* — each result
+then carries its partition identity (``record.partition``), which is what
+partition-granular rules (Hogwild-style immediate application, federated
+local-update averaging) key their server state on.
 
 This factoring is what makes "sync -> async in a few extra lines" literal:
 a new asynchronous method is one UpdateRule, not a re-implementation of
@@ -60,6 +68,10 @@ class UpdateRule:
     epoch_length: int | None = None
     #: Whether the loop should evaluate the step schedule per result.
     needs_alpha = True
+    #: Submission granularity: "worker", "partition", or ``None`` to
+    #: follow the run's ``OptimizerConfig.granularity``. Rules whose
+    #: mathematics only exists at one granularity pin it here.
+    granularity: str | None = None
 
     def bind(self, loop: "ServerLoop") -> None:
         self.loop = loop
@@ -95,6 +107,10 @@ class UpdateRule:
         """Combine two worker-local partial results."""
         raise NotImplementedError
 
+    def effective_granularity(self) -> str:
+        """The submission unit this run dispatches at."""
+        return self.granularity or self.opt.config.granularity
+
     def dispatch(self, handle, seed: int) -> None:
         """Submit one asynchronous round (barrier -> sample -> map -> reduce)."""
         opt = self.opt
@@ -104,9 +120,20 @@ class UpdateRule:
             gated = gated.sample(frac, seed=seed)
         gated.map(
             lambda block, _h=handle, _s=seed: self.kernel(block, _h, _s)
-        ).async_reduce(self.reduce, self.loop.ac)
+        ).async_reduce(
+            self.reduce, self.loop.ac, self.effective_granularity()
+        )
 
-    # -- per-result hook ---------------------------------------------------------------
+    # -- per-result hooks --------------------------------------------------------------
+    def on_collect(self, record: "TaskResultRecord") -> None:
+        """Observe a collected result the moment it streams in.
+
+        Called for *every* record the loop pops — including late results
+        rejected by the update budget — before ``apply`` is consulted.
+        Partition-granular rules use it to maintain per-partition server
+        state (``record.partition`` identifies the source partition).
+        """
+
     def apply(self, w, record: "TaskResultRecord", alpha: float | None):
         """One server-side model update; return the new ``w``.
 
@@ -157,6 +184,7 @@ class ServerLoop:
 
         def apply_one(record) -> None:
             nonlocal w, updates
+            rule.on_collect(record)
             if updates >= cfg.max_updates:
                 return  # budget exhausted; drop late results
             t = updates + 1
@@ -199,6 +227,25 @@ class ServerLoop:
         ac.wait_all()
         ac.drain()
 
+        extras = {
+            "lost_tasks": ac.lost_tasks,
+            "collected": ac.collected,
+            "max_staleness_seen": max(
+                (ws.last_staleness for ws in ac.stat), default=0
+            ),
+            "granularity": rule.effective_granularity(),
+            "partition_tasks": ac.scheduler.partition_tasks_submitted,
+        }
+        if extras["granularity"] == "partition":
+            # The partition-grain analogs, for every rule that ran at
+            # partition granularity (not just the partition-only ones).
+            extras["partitions_tracked"] = len(ac.stat.partitions)
+            extras["max_partition_staleness_seen"] = max(
+                (row.last_staleness for row in ac.stat.partitions.values()),
+                default=0,
+            )
+        extras.update(rule.extras())
+
         return RunResult(
             w=w,
             trace=trace,
@@ -207,12 +254,5 @@ class ServerLoop:
             rounds=rounds,
             algorithm=rule.algorithm_label(),
             metrics=opt._metrics_window(metrics_start),
-            extras={
-                "lost_tasks": ac.lost_tasks,
-                "collected": ac.collected,
-                "max_staleness_seen": max(
-                    (ws.last_staleness for ws in ac.stat), default=0
-                ),
-                **rule.extras(),
-            },
+            extras=extras,
         )

@@ -47,7 +47,13 @@ def test_table1_actions_exist():
     assert callable(RDD.async_reduce)
     assert callable(RDD.async_aggregate)
     sig = inspect.signature(RDD.async_aggregate)
-    assert list(sig.parameters) == ["self", "zero", "seq_op", "comb_op", "ac"]
+    assert list(sig.parameters) == [
+        "self", "zero", "seq_op", "comb_op", "ac", "granularity",
+    ]
+    assert sig.parameters["granularity"].default == "worker"
+    sig = inspect.signature(RDD.async_reduce)
+    assert list(sig.parameters) == ["self", "f", "ac", "granularity"]
+    assert sig.parameters["granularity"].default == "worker"
 
 
 def test_table1_transformations_exist():

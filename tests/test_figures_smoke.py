@@ -78,6 +78,38 @@ def test_ablation_structures():
     assert set(lr["cells"]) == {"plain", "staleness-adaptive"}
 
 
+def test_ablation_granularity_structure():
+    out = figures.ablation_granularity(
+        dataset="tiny_dense", updates=8, delay="none",
+        num_workers=2, num_partitions=4, verbose=False,
+    )
+    assert set(out["cells"]) == {
+        "asgd/worker", "asgd/partition", "hogwild", "fedavg",
+    }
+    assert out["cells"]["asgd/worker"].extras["granularity"] == "worker"
+    for label in ("asgd/partition", "hogwild", "fedavg"):
+        assert out["cells"][label].extras["granularity"] == "partition"
+
+
+def test_set_jobs_keeps_one_pool_across_batches():
+    """The persistent pool survives driver batches until set_jobs(1)."""
+    figures.set_jobs(2)
+    try:
+        first = figures._pool()
+        assert first is not None
+        figures.fig2_sync_sgd_vs_reference(
+            datasets=("tiny_dense",), iterations=4, verbose=False,
+        )
+        figures.clear_cache()
+        figures.table2_datasets(verbose=False)
+        assert figures._pool() is first  # same executor, still warm
+        figures.set_jobs(2)  # same size -> keeps the pool
+        assert figures._pool() is first
+    finally:
+        figures.set_jobs(1)
+    assert figures._POOL is None
+
+
 def test_verbose_prints_table(capsys):
     figures.table2_datasets(verbose=True)
     out = capsys.readouterr().out

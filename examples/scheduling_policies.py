@@ -1,0 +1,76 @@
+"""The unified SchedulingPolicy protocol, end to end.
+
+One federated workload (fedavg over partitions-as-clients, one straggling
+worker) run under a policy per protocol hook:
+
+- ``ready``  — partition-granular SSP bounds per-partition staleness,
+- ``select`` — client sampling dispatches to a random half of the
+  clients each round; the per-partition completion filter withholds
+  chronically slow partitions,
+- ``weight`` — FedAsync-style polynomial discounting damps stale client
+  contributions,
+- ``place``  — migration moves hot partitions off chronically slow
+  workers.
+
+Policies are data: each row of the sweep is just a string (composition
+included: ``"ssp_partition:6 & sample:0.5"``), so the same comparison is
+reachable from JSON specs and ``python -m repro run``.
+
+Run:  python examples/scheduling_policies.py
+"""
+
+from repro import GridSpec
+from repro.api import run_grid
+from repro.utils.tables import format_table
+
+POLICIES = [
+    "asp",                          # baseline admission
+    "ssp_partition:6",              # ready: bound partition staleness
+    "ct_partition:1.5",             # select: filter slow partitions
+    "sample:0.5",                   # select: FedAvg client sampling
+    "asp & fedasync:poly",          # weight: staleness-discounted averaging
+    "migrate:1.5",                  # place: move hot partitions off stragglers
+    "ssp_partition:6 & sample:0.5",  # hooks compose
+]
+
+SWEEP = GridSpec.coerce({
+    "base": {
+        "algorithm": "fedavg",
+        "dataset": "synth_logistic",
+        "problem": "logistic",
+        "num_workers": 4,
+        "num_partitions": 8,
+        "delay": "cds:1.0",
+        "alpha0": 0.3,
+        "max_updates": 160,
+        "eval_every": 16,
+        "seed": 0,
+        "params": {"local_steps": 5},
+    },
+    "grid": {"policy": POLICIES},
+})
+
+
+def main():
+    rows = []
+    for summary in run_grid(SWEEP):
+        extras = summary["extras"]
+        rows.append([
+            summary["spec"]["policy"],
+            summary["elapsed_ms"],
+            summary["final_error"],
+            extras.get("max_partition_staleness_seen",
+                       extras.get("max_staleness_seen", "")),
+            extras.get("migrations", 0),
+        ])
+    print(format_table(
+        ["policy", "time (ms)", "final err", "max staleness", "migrations"],
+        rows,
+        title="fedavg under a 100%-delay straggler, 160 updates, 4 workers",
+    ))
+    print("\nEach policy touches one hook of the SchedulingPolicy protocol"
+          "\n(ready / select / weight / place); '&' composes them.")
+
+
+if __name__ == "__main__":
+    main()

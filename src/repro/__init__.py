@@ -61,6 +61,15 @@ from repro.core.barriers import (
     MinAvailableFraction,
 )
 from repro.core.context import ASYNCContext
+from repro.core.policies import (
+    ClientSampling,
+    MigrateSlow,
+    PartitionCompletionFilter,
+    PartitionSSP,
+    SchedulingPolicy,
+    StalenessWeighting,
+    parse_policy,
+)
 from repro.engine.context import ClusterContext
 from repro.optim.admm import AsyncADMM, SyncADMM
 from repro.optim.asaga import AsyncSAGA
@@ -105,11 +114,18 @@ __all__ = [
     "ClusterContext",
     "ASYNCContext",
     "BarrierPolicy",
+    "SchedulingPolicy",
     "ASP",
     "BSP",
     "SSP",
     "MinAvailableFraction",
     "CompletionTimeBarrier",
+    "PartitionSSP",
+    "PartitionCompletionFilter",
+    "ClientSampling",
+    "StalenessWeighting",
+    "MigrateSlow",
+    "parse_policy",
     "Problem",
     "LeastSquaresProblem",
     "RidgeProblem",

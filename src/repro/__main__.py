@@ -81,7 +81,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(
         f"running {spec.algorithm} on {spec.dataset} "
         f"(P={spec.num_workers}, delay={spec.delay!r}, "
-        f"barrier={spec.barrier!r}, seed={spec.seed})"
+        f"policy={spec.effective_policy!r}, seed={spec.seed})"
     )
     summary = summarize(prep, prep.execute())
     _print_summary(summary)
@@ -146,10 +146,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     import repro.api.runner  # noqa: F401  (populates every registry)
     from repro.api import BARRIERS, DELAY_MODELS, OPTIMIZERS, PROBLEMS, STEPS
+    from repro.core.policies import policy_hooks
     from repro.data.registry import REGISTRY, list_datasets
 
     for registry in (OPTIMIZERS, PROBLEMS, BARRIERS, STEPS, DELAY_MODELS):
         print(f"{registry.kind}s: {', '.join(registry.names())}")
+    from repro.core.policies import SchedulingPolicy
+
+    print("scheduling policies (protocol hooks each overrides):")
+    for name in BARRIERS.names():
+        factory = BARRIERS.get(name)
+        if isinstance(factory, type) and issubclass(factory, SchedulingPolicy):
+            hooks = policy_hooks(factory)
+            detail = ", ".join(hooks) if hooks else "defaults (ASP-like)"
+        else:
+            detail = "custom factory"
+        print(f"  {name}: {detail}")
+    print(
+        "policies compose in string form: 'a & b' (both ready, selections "
+        "intersect, weights multiply), 'a | b' (either; union; max); "
+        "'&' binds tighter"
+    )
     print(f"datasets: {', '.join(list_datasets())}")
     for name in list_datasets():
         spec = REGISTRY[name]

@@ -41,12 +41,14 @@ from repro.api.registry import (
     BARRIERS,
     DELAY_MODELS,
     OPTIMIZERS,
+    POLICIES,
     PROBLEMS,
     STEPS,
     Registry,
     register_barrier,
     register_delay_model,
     register_optimizer,
+    register_policy,
     register_problem,
     register_step,
 )
@@ -67,11 +69,13 @@ __all__ = [
     "OPTIMIZERS",
     "PROBLEMS",
     "BARRIERS",
+    "POLICIES",
     "STEPS",
     "DELAY_MODELS",
     "register_optimizer",
     "register_problem",
     "register_barrier",
+    "register_policy",
     "register_step",
     "register_delay_model",
     "ExperimentSpec",

@@ -255,14 +255,19 @@ class SweepCheckpoint:
                 f"cannot write checkpoint {str(self.path)!r}: {exc}"
             ) from exc
 
-    def load(self) -> dict[int, tuple[str | None, Any]]:
-        """``{index: (key, summary)}``; later lines win, a truncated final
-        line (killed mid-write) is skipped."""
-        done: dict[int, tuple[str | None, Any]] = {}
+    def entries(self) -> list[tuple[int, str | None, Any]]:
+        """Every valid ``(index, key, summary)`` line, in file order.
+
+        Malformed lines — including a truncated final line from a kill
+        mid-write — are skipped. Callers choose the matching discipline:
+        ``load`` keys by index (grid resume), the bench runner keys by
+        canonical spec key (batches re-slice cells in different orders).
+        """
+        out: list[tuple[int, str | None, Any]] = []
         try:
             text = self.path.read_text()
         except OSError:
-            return done
+            return out
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -272,8 +277,17 @@ class SweepCheckpoint:
             except json.JSONDecodeError:
                 continue
             if isinstance(entry, dict) and isinstance(entry.get("index"), int):
-                done[entry["index"]] = (entry.get("key"), entry.get("summary"))
-        return done
+                out.append(
+                    (entry["index"], entry.get("key"), entry.get("summary"))
+                )
+        return out
+
+    def load(self) -> dict[int, tuple[str | None, Any]]:
+        """``{index: (key, summary)}``; later lines win, a truncated final
+        line (killed mid-write) is skipped."""
+        return {
+            index: (key, summary) for index, key, summary in self.entries()
+        }
 
     def append(self, index: int, key: str, summary: Any) -> None:
         line = json.dumps(

@@ -41,11 +41,13 @@ __all__ = [
     "OPTIMIZERS",
     "PROBLEMS",
     "BARRIERS",
+    "POLICIES",
     "STEPS",
     "DELAY_MODELS",
     "register_optimizer",
     "register_problem",
     "register_barrier",
+    "register_policy",
     "register_step",
     "register_delay_model",
 ]
@@ -183,11 +185,16 @@ class Registry:
 OPTIMIZERS = Registry("optimizer")
 PROBLEMS = Registry("problem")
 BARRIERS = Registry("barrier")
+#: Scheduling policies and barriers share one namespace: every barrier is
+#: a (ready/select-only) scheduling policy, and specs address both
+#: through the same ``barrier``/``policy`` field.
+POLICIES = BARRIERS
 STEPS = Registry("step schedule")
 DELAY_MODELS = Registry("delay model")
 
 register_optimizer = OPTIMIZERS.register
 register_problem = PROBLEMS.register
 register_barrier = BARRIERS.register
+register_policy = POLICIES.register
 register_step = STEPS.register
 register_delay_model = DELAY_MODELS.register

@@ -23,7 +23,6 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.api.registry import (
-    BARRIERS,
     DELAY_MODELS,
     OPTIMIZERS,
     PROBLEMS,
@@ -33,7 +32,7 @@ from repro.api.spec import ExperimentSpec, GridSpec
 from repro.cluster.cost import AnalyticCostModel
 from repro.cluster.network import NetworkModel
 from repro.cluster.stragglers import DelayModel
-from repro.core.barriers import BarrierPolicy
+from repro.core.policies import SchedulingPolicy, resolve_policy
 from repro.data.registry import get_dataset
 from repro.engine.context import ClusterContext
 from repro.errors import ApiError
@@ -114,7 +113,8 @@ class PreparedExperiment:
     problem: Problem
     config: OptimizerConfig
     step: StepSchedule
-    barrier: BarrierPolicy | None
+    #: The resolved scheduling policy (``None`` -> optimizer default).
+    policy: SchedulingPolicy | None
     delay_model: DelayModel
     cost_model: AnalyticCostModel | None
     network: NetworkModel | None
@@ -130,12 +130,17 @@ class PreparedExperiment:
             delay_model=self.delay_model,
         )
 
+    @property
+    def barrier(self) -> SchedulingPolicy | None:
+        """Legacy alias for :attr:`policy`."""
+        return self.policy
+
     def make_optimizer(self, ctx: ClusterContext, points) -> DistributedOptimizer:
         """Instantiate the registered optimizer on an open context."""
         cls = OPTIMIZERS.get(self.spec.algorithm)
         kwargs = dict(self.spec.params or {})
-        if self.barrier is not None or getattr(cls, "is_async", False):
-            kwargs["barrier"] = self.barrier
+        if self.policy is not None or getattr(cls, "is_async", False):
+            kwargs["barrier"] = self.policy
         try:
             return cls(
                 ctx, points, self.problem, self.step, self.config, **kwargs
@@ -205,16 +210,25 @@ def prepare_experiment(
             spec.algorithm, alpha0, spec.num_workers, spec.staleness_adaptive
         )
 
-    if spec.barrier is None:
-        barrier = None
+    if spec.policy is not None and spec.barrier is not None:
+        raise ApiError(
+            "'policy' is the new spelling of 'barrier'; set only one "
+            f"(got policy={spec.policy!r} and barrier={spec.barrier!r})"
+        )
+    policy_spec = spec.effective_policy
+    if policy_spec is None:
+        policy = None
     else:
         if not getattr(OPTIMIZERS.get(spec.algorithm), "is_async", False):
             raise ApiError(
-                f"barrier {spec.barrier!r} has no effect on the synchronous "
+                f"barrier {policy_spec!r} has no effect on the synchronous "
                 f"optimizer {spec.algorithm!r}; drop it or use an "
                 "asynchronous variant"
             )
-        barrier = BARRIERS.create(spec.barrier, expect=BarrierPolicy)
+        policy = resolve_policy(
+            policy_spec,
+            defaults={"seed": spec.seed, "num_workers": spec.num_workers},
+        )
     if spec.granularity != "worker" and not getattr(
         OPTIMIZERS.get(spec.algorithm), "is_async", False
     ):
@@ -261,7 +275,7 @@ def prepare_experiment(
         problem=problem,
         config=config,
         step=step,
-        barrier=barrier,
+        policy=policy,
         delay_model=delay,
         cost_model=cost_model,
         network=network,

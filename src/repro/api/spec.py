@@ -51,7 +51,15 @@ class ExperimentSpec:
     num_partitions: int | None = None
     delay: Any = "none"
     #: ``None`` -> the optimizer's own default (ASP for async methods).
+    #: Legacy spelling of ``policy`` — both fields address the same
+    #: registry; set at most one.
     barrier: Any = None
+    #: Scheduling policy: a registered name (``"asp"``), a mini-language
+    #: token (``"ssp_partition:4"``, ``"sample:0.3"``), an ``&``/``|``
+    #: composition (``"ssp:4 & fedasync:poly"``), or a dict
+    #: (``{"name": "migrate", "threshold": "p95"}``). ``None`` -> use
+    #: ``barrier``, else the optimizer's default.
+    policy: Any = None
     #: ``None`` -> built from the dataset's tuned ``alpha0`` (see below).
     step: Any = None
     #: Initial step size for the default schedule; ``None`` -> dataset's.
@@ -82,10 +90,17 @@ class ExperimentSpec:
 
     # -- serialization -----------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-JSON dict (no infinities, no library objects)."""
+        """Plain-JSON dict (no infinities, no library objects).
+
+        An unset ``policy`` is omitted entirely (not emitted as null):
+        the canonical spec JSON of a policy-less spec — and with it every
+        checkpoint key written before the field existed — stays stable.
+        """
         out = asdict(self)
         if out["max_time_ms"] is not None and math.isinf(out["max_time_ms"]):
             out["max_time_ms"] = None
+        if out["policy"] is None:
+            del out["policy"]
         return out
 
     @classmethod
@@ -128,6 +143,13 @@ class ExperimentSpec:
 
     def with_overrides(self, **overrides: Any) -> "ExperimentSpec":
         return replace(self, **overrides)
+
+    @property
+    def effective_policy(self) -> Any:
+        """The scheduling-policy spelling in effect (``policy`` wins over
+        the legacy ``barrier`` alias; both set is rejected at prepare
+        time)."""
+        return self.policy if self.policy is not None else self.barrier
 
 
 def _set_path(data: dict, path: str, value: Any) -> None:

@@ -28,9 +28,9 @@ import itertools
 import math
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.api.parallel import run_cells, run_key
+from repro.api.parallel import run_key
 from repro.api.spec import GridSpec
-from repro.bench.harness import ExperimentResult, ExperimentSpec
+from repro.bench.harness import ExperimentResult, ExperimentSpec, run_bench_cells
 from repro.data.registry import REGISTRY
 from repro.optim.reference import reference_sgd
 from repro.utils.tables import format_table
@@ -49,7 +49,9 @@ __all__ = [
     "ablation_barriers",
     "ablation_staleness_lr",
     "ablation_granularity",
+    "ablation_policies",
     "set_jobs",
+    "set_checkpoint",
     "shutdown_pool",
     "clear_cache",
 ]
@@ -69,6 +71,10 @@ _JOBS = 1
 #: first parallel batch, kept warm until ``set_jobs`` changes the size or
 #: ``shutdown_pool`` / interpreter exit).
 _POOL: ProcessPoolExecutor | None = None
+#: JSONL checkpoint stream for figure cells (``set_checkpoint``); rows
+#: restore by canonical spec key, so any driver batch reuses them.
+_CHECKPOINT: str | None = None
+_RESUME = True
 
 
 def set_jobs(jobs: int) -> None:
@@ -99,6 +105,22 @@ def _pool() -> ProcessPoolExecutor | None:
     return _POOL
 
 
+def set_checkpoint(path: str | None, resume: bool = True) -> None:
+    """Stream figure cells to a JSONL checkpoint (``None`` disables).
+
+    Every driver batch appends each finished cell to ``path`` in the
+    :class:`repro.api.parallel.SweepCheckpoint` format and, with
+    ``resume=True`` (default), restores any requested cell whose
+    canonical spec key is already on file — so an interrupted or
+    re-parameterized figure run only pays for missing cells, across
+    processes and sessions. ``resume=False`` truncates the file before
+    the next batch (subsequent batches of the same session append).
+    """
+    global _CHECKPOINT, _RESUME
+    _CHECKPOINT = str(path) if path is not None else None
+    _RESUME = resume
+
+
 def shutdown_pool() -> None:
     """Release the persistent worker pool (no-op when none is running)."""
     global _POOL
@@ -122,6 +144,7 @@ def _cache_put(key: str, result: ExperimentResult) -> None:
 
 def _run_specs(api_specs) -> list[ExperimentResult]:
     """Run api specs through the sweep engine, memoized on spec JSON."""
+    global _RESUME
     keys = [run_key(spec) for spec in api_specs]
     # Snapshot hits first: eviction while caching the fresh batch must
     # not drop entries this call is about to return.
@@ -131,10 +154,14 @@ def _run_specs(api_specs) -> list[ExperimentResult]:
         if key not in have and key not in todo:
             todo[key] = spec
     if todo:
-        results = run_cells(
-            list(todo.values()), runner="bench", jobs=_JOBS,
-            executor=_pool(),
+        results = run_bench_cells(
+            list(todo.values()), jobs=_JOBS, executor=_pool(),
+            checkpoint=_CHECKPOINT, resume=_RESUME and _CHECKPOINT is not None,
         )
+        if _CHECKPOINT is not None:
+            # A fresh (resume=False) stream truncates once, then the
+            # session's later batches append to it.
+            _RESUME = True
         for key, result in zip(todo.keys(), results):
             have[key] = result
             _cache_put(key, result)
@@ -723,6 +750,71 @@ def ablation_granularity(
     if verbose:
         print(format_table(out["headers"], rows,
                            title=f"Ablation - dispatch granularity under {delay}"))
+    return out
+
+
+def ablation_policies(
+    dataset: str = "mnist8m_like",
+    policies: tuple[str, ...] = (
+        "asp",
+        "ssp_partition:4",
+        "ct_partition:1.5",
+        "sample:0.5",
+        "asp & fedasync:poly",
+        "migrate:1.5",
+    ),
+    algorithm: str = "fedavg",
+    updates: int = 240,
+    delay: str = "cds:0.6",
+    num_workers: int = 8,
+    num_partitions: int = 32,
+    local_steps: int = 4,
+    seed: int = 0,
+    verbose: bool = True,
+) -> dict:
+    """Scheduling policies compared on one federated workload.
+
+    Runs the same partition-granular job (``fedavg`` by default) under
+    each policy spelling, one per protocol hook: partition-SSP bounds
+    per-partition staleness (``ready``), the per-partition completion
+    filter and client sampling shape participation (``select``),
+    FedAsync-style polynomial discounting damps stale contributions
+    (``weight``), and migration moves hot partitions off chronically slow
+    workers (``place``). Policies compose — the default list includes an
+    ``&`` composition — and every cell is a plain JSON spec, so the whole
+    ablation is reproducible from the CLI.
+    """
+    base = ExperimentSpec(
+        dataset=dataset, algorithm=algorithm, delay=delay,
+        num_workers=num_workers, num_partitions=num_partitions,
+        max_updates=updates, seed=seed, local_steps=local_steps,
+    ).to_api_spec()
+    cells_spec = {p: base.with_overrides(barrier=None, policy=p)
+                  for p in policies}
+    results = _run_specs(list(cells_spec.values()))
+    rows = []
+    cells = {}
+    for label, res in zip(cells_spec, results):
+        target = res.initial_error * REGISTRY[dataset].target_rel
+        rows.append([
+            label, res.elapsed_ms, res.updates,
+            res.extras.get("collected", res.updates),
+            res.time_to_error(max(target, res.final_error * 1.05)),
+            res.final_error,
+            res.extras.get("max_partition_staleness_seen",
+                           res.extras.get("max_staleness_seen", "")),
+            res.extras.get("migrations", 0),
+        ])
+        cells[label] = res
+    out = {
+        "headers": ["policy", "time (ms)", "updates", "collected",
+                    "t_target(ms)", "err", "max staleness", "migrations"],
+        "rows": rows,
+        "cells": cells,
+    }
+    if verbose:
+        print(format_table(out["headers"], rows,
+                           title=f"Ablation - scheduling policies ({algorithm} under {delay})"))
     return out
 
 

@@ -31,7 +31,8 @@ from repro.errors import ReproError
 from repro.metrics.wait_time import average_wait_ms
 
 __all__ = ["ExperimentSpec", "ExperimentResult", "run_experiment",
-           "run_api_experiment", "parse_delay", "parse_barrier"]
+           "run_api_experiment", "run_bench_cells", "parse_delay",
+           "parse_barrier"]
 
 _SAGA_ALGOS = {"saga", "asaga"}
 
@@ -58,6 +59,10 @@ class ExperimentSpec:
     num_partitions: int = 32
     delay: str = "none"
     barrier: str = "asp"
+    #: Scheduling-policy spelling (new surface, supersedes ``barrier``
+    #: when set): any registry token including ``&``/``|`` composition,
+    #: e.g. ``"ssp_partition:4"`` or ``"asp & fedasync:poly"``.
+    policy: str | None = None
     batch_fraction: float | None = None
     alpha0: float | None = None
     max_updates: int = 100
@@ -92,10 +97,28 @@ class ExperimentSpec:
 
     def to_api_spec(self) -> ApiSpec:
         """The equivalent :class:`repro.api.ExperimentSpec`."""
+        if self.policy is not None:
+            # A bad token is a mis-keyed spec regardless of algorithm —
+            # fail fast (same invariant as the barrier check below).
+            from repro.core.policies import resolve_policy
+
+            resolve_policy(self.policy)
+            if not self.is_async():
+                # Unlike `barrier` (which defaults to "asp" on every
+                # cell and must be dropped for sync algorithms), a set
+                # `policy` is always intentional — mirror the api
+                # layer's rejection instead of silently running a
+                # baseline cell labeled as if the policy applied.
+                raise ReproError(
+                    f"policy {self.policy!r} has no effect on the "
+                    f"synchronous optimizer {self.algorithm!r}; drop it "
+                    "or use an asynchronous variant"
+                )
         if not self.is_async():
             # Sync cells never consult the barrier, but a bad token is a
             # mis-keyed spec — fail fast like the pre-registry harness did.
             parse_barrier(self.barrier)
+        use_policy = self.policy if self.is_async() else None
         params: dict = {}
         if self.algorithm in _SAGA_ALGOS:
             params["mode"] = self.saga_mode
@@ -111,8 +134,13 @@ class ExperimentSpec:
             delay=self.delay,
             # The bench layer carries a barrier field for every cell;
             # synchronous algorithms never consult it (validated above),
-            # and the api layer rejects the meaningless combination.
-            barrier=self.barrier if self.is_async() else None,
+            # and the api layer rejects the meaningless combination. A
+            # set ``policy`` supersedes the ``barrier`` token.
+            barrier=(
+                self.barrier
+                if self.is_async() and use_policy is None else None
+            ),
+            policy=use_policy,
             alpha0=self.alpha0,
             staleness_adaptive=self.staleness_adaptive,
             batch_fraction=self.batch_fraction,
@@ -166,6 +194,61 @@ class ExperimentResult:
     def relative_target(self, rel: float) -> float:
         return self.initial_error * rel
 
+    # -- checkpoint serialization ------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form for the sweep checkpoint stream.
+
+        The spec is normalized to its api-dict form (bench specs convert
+        via ``to_api_spec``), so the row is host- and process-agnostic —
+        the same contract :class:`repro.api.parallel.SweepCheckpoint`
+        lines already follow.
+        """
+        return {
+            "spec": ApiSpec.coerce(self.spec).to_dict(),
+            "final_error": float(self.final_error),
+            "initial_error": float(self.initial_error),
+            "elapsed_ms": float(self.elapsed_ms),
+            "updates": int(self.updates),
+            "rounds": int(self.rounds),
+            "avg_wait_ms": float(self.avg_wait_ms),
+            "error_series": [[float(t), float(e)] for t, e in self.error_series],
+            "total_task_bytes": int(self.total_task_bytes),
+            "total_fetch_bytes": int(self.total_fetch_bytes),
+            "extras": {
+                k: v for k, v in self.extras.items()
+                if isinstance(v, (bool, int, float, str))
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a checkpointed row (spec comes back as an api spec).
+
+        ``error_series`` is required: ``run_grid`` summary checkpoints
+        share the same file format and spec keys but carry
+        ``summarize()`` dicts without a series — restoring one here must
+        fail loudly, not render empty convergence curves.
+        """
+        if "error_series" not in data:
+            raise ReproError(
+                "checkpoint row is not a bench ExperimentResult (no "
+                "'error_series'); run_grid summary checkpoints are not "
+                "interchangeable with bench checkpoints"
+            )
+        return cls(
+            spec=ApiSpec.from_dict(data["spec"]),
+            final_error=data["final_error"],
+            initial_error=data["initial_error"],
+            elapsed_ms=data["elapsed_ms"],
+            updates=data["updates"],
+            rounds=data["rounds"],
+            avg_wait_ms=data["avg_wait_ms"],
+            error_series=[(t, e) for t, e in data["error_series"]],
+            total_task_bytes=data.get("total_task_bytes", 0),
+            total_fetch_bytes=data.get("total_fetch_bytes", 0),
+            extras=dict(data.get("extras", {})),
+        )
+
 
 def _result_from_prep(prep, spec) -> ExperimentResult:
     """Run a prepared experiment and package the figure-ready summary."""
@@ -214,3 +297,76 @@ def run_api_experiment(spec) -> ExperimentResult:
 
     prep = prepare_shared(spec)
     return _result_from_prep(prep, prep.spec)
+
+
+def run_bench_cells(
+    api_specs,
+    *,
+    jobs: int = 1,
+    executor=None,
+    checkpoint=None,
+    resume: bool = False,
+    progress=None,
+) -> list[ExperimentResult]:
+    """Run bench cells with JSONL checkpoint/resume; results in input order.
+
+    The checkpoint stream is the same host-agnostic format
+    :class:`repro.api.parallel.SweepCheckpoint` writes for ``run_grid``:
+    one ``{"index", "key", "summary"}`` line per finished cell, where
+    ``key`` is the cell's canonical spec JSON (:func:`~repro.api.
+    parallel.run_key`) and ``summary`` is ``ExperimentResult.to_dict()``.
+    Because figure batches re-slice the same cells in different orders,
+    ``resume`` matches rows by *key* (not index): a line restores any
+    requested cell with the same canonical spec, so interrupted figure
+    sweeps and re-parameterized batches both reuse finished work.
+
+    ``progress(k, total, result)`` fires per completed cell (restored
+    rows first), like ``run_grid``'s hook.
+    """
+    from repro.api.parallel import SweepCheckpoint, run_cells, run_key
+    from repro.api.spec import ExperimentSpec as _ApiSpec
+
+    specs = [_ApiSpec.coerce(s) for s in api_specs]
+    keys = [run_key(s) for s in specs]
+    ckpt = SweepCheckpoint(checkpoint) if checkpoint is not None else None
+    if resume and ckpt is None:
+        raise ReproError("resume requires a checkpoint path")
+
+    total = len(specs)
+    results: list[ExperimentResult | None] = [None] * total
+    completed = 0
+    if resume:
+        by_key = {
+            key: summary
+            for _index, key, summary in ckpt.entries()
+            if key is not None and summary is not None
+        }
+        for i, key in enumerate(keys):
+            if key in by_key:
+                results[i] = ExperimentResult.from_dict(by_key[key])
+                if progress is not None:
+                    progress(completed, total, results[i])
+                completed += 1
+    elif ckpt is not None:
+        ckpt.reset()
+
+    pending = [i for i in range(total) if results[i] is None]
+    if pending:
+        def on_result(pending_i: int, result: ExperimentResult) -> None:
+            nonlocal completed
+            index = pending[pending_i]
+            results[index] = result
+            if ckpt is not None:
+                ckpt.append(index, keys[index], result.to_dict())
+            if progress is not None:
+                progress(completed, total, result)
+            completed += 1
+
+        run_cells(
+            [specs[i] for i in pending],
+            runner="bench",
+            jobs=jobs,
+            executor=executor,
+            on_result=on_result,
+        )
+    return results

@@ -32,11 +32,39 @@ from repro.core.barriers import (
 from repro.core.broadcaster import AsyncBroadcaster, HistoryBroadcast
 from repro.core.context import ASYNCContext
 from repro.core.coordinator import Coordinator
+from repro.core.policies import (
+    AndPolicy,
+    ClientSampling,
+    LambdaPolicy,
+    MigrateSlow,
+    OrPolicy,
+    PartitionCompletionFilter,
+    PartitionSSP,
+    SchedulingPolicy,
+    StalenessWeighting,
+    Target,
+    as_policy,
+    parse_policy,
+    resolve_policy,
+)
 from repro.core.records import PartitionStatus, TaskResultRecord, WorkerStatus
 from repro.core.scheduler import AsyncScheduler
 from repro.core.stat import StatTable
 
 __all__ = [
+    "SchedulingPolicy",
+    "Target",
+    "AndPolicy",
+    "OrPolicy",
+    "LambdaPolicy",
+    "PartitionSSP",
+    "PartitionCompletionFilter",
+    "ClientSampling",
+    "StalenessWeighting",
+    "MigrateSlow",
+    "as_policy",
+    "parse_policy",
+    "resolve_policy",
     "ASYNCContext",
     "AsyncBroadcaster",
     "HistoryBroadcast",

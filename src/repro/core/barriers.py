@@ -1,9 +1,12 @@
 """Barrier-control policies (Section 3 / Listing 2).
 
-A policy answers two questions against the live STAT table:
-
-- ``ready(stat)`` — may a new submission round proceed *now*?
-- ``eligible(stat)`` — which available workers should receive tasks?
+A barrier is the admission slice of a :class:`~repro.core.policies.
+SchedulingPolicy`: it answers ``ready(stat)`` ("may a round proceed
+*now*?") and ``eligible(stat)`` ("which workers should receive tasks?"),
+and inherits neutral defaults for the richer hooks (``select`` routes
+through ``eligible`` with the exact legacy ordering, ``weight`` is 1.0,
+``place`` moves nothing). Every class here is therefore a thin adapter:
+the dispatch trajectories are bit-identical to the pre-protocol code.
 
 The three classic strategies map directly:
 
@@ -18,15 +21,23 @@ The three classic strategies map directly:
 Additional policies reproduce the paper's other examples: the ⌊β·P⌋
 available-fraction rule of Algorithm 2, and a completion-time barrier in
 the spirit of [69] that withholds tasks from abnormally slow workers.
+Partition-aware policies (partition-SSP, per-partition completion
+filters, client sampling, staleness weighting, migration) live in
+:mod:`repro.core.policies`.
 """
 
 from __future__ import annotations
 
 import math
-from abc import ABC, abstractmethod
-from typing import Callable
 
 from repro.api.registry import register_barrier
+from repro.core.policies import (
+    AndPolicy,
+    LambdaPolicy,
+    OrPolicy,
+    SchedulingPolicy,
+    as_policy,
+)
 from repro.core.stat import StatTable
 
 __all__ = [
@@ -42,27 +53,18 @@ __all__ = [
     "as_barrier",
 ]
 
+#: The historical name: a barrier *is* a scheduling policy that only
+#: implements the admission hooks. Kept as a first-class alias so
+#: ``isinstance(x, BarrierPolicy)`` and subclassing keep working.
+BarrierPolicy = SchedulingPolicy
 
-class BarrierPolicy(ABC):
-    """Decides when a submission round may proceed and to which workers."""
+#: Lambda and composite policies, under their pre-protocol names.
+LambdaBarrier = LambdaPolicy
+AndBarrier = AndPolicy
+OrBarrier = OrPolicy
 
-    @abstractmethod
-    def ready(self, stat: StatTable) -> bool:
-        """True when a new round of tasks may be dispatched."""
-
-    def eligible(self, stat: StatTable) -> list[int]:
-        """Workers to dispatch to; defaults to every available worker."""
-        return stat.available_workers()
-
-    def describe(self) -> str:
-        return type(self).__name__
-
-    # Policies compose: (a & b), (a | b).
-    def __and__(self, other: "BarrierPolicy") -> "BarrierPolicy":
-        return AndBarrier(self, other)
-
-    def __or__(self, other: "BarrierPolicy") -> "BarrierPolicy":
-        return OrBarrier(self, other)
+#: Coercion (policy object, plain predicate, or None -> ASP).
+as_barrier = as_policy
 
 
 @register_barrier("asp")
@@ -127,7 +129,13 @@ class CompletionTimeBarrier(BarrierPolicy):
     completion time exceeds ``ratio`` x the cluster median are filtered
     out of dispatch (they finish their in-flight work but receive no new
     tasks), keeping chronically slow machines from accumulating stale
-    work. Workers with no history yet are always acceptable.
+    work.
+
+    Workers with no completed tasks yet are always acceptable *and* are
+    excluded from the threshold: the median is taken only over workers
+    with completion history (``StatTable.median_completion_ms``), so
+    zero-sample rows early in a run can neither drag the threshold to
+    zero nor get themselves filtered before producing a single result.
     """
 
     def __init__(self, ratio: float = 2.0) -> None:
@@ -135,100 +143,24 @@ class CompletionTimeBarrier(BarrierPolicy):
             raise ValueError("ratio must be positive")
         self.ratio = ratio
 
-    def _acceptable(self, stat: StatTable, worker_id: int) -> bool:
-        w = stat[worker_id]
-        if w.tasks_completed == 0:
-            return True
+    def _acceptable_workers(self, stat: StatTable) -> list[int]:
+        """Available workers passing the filter (threshold computed once)."""
+        available = stat.available_workers()
         median = stat.median_completion_ms()
-        if median <= 0:
-            return True
-        return w.avg_completion_ms <= self.ratio * median
+        if median <= 0:  # nobody has history yet: everyone is acceptable
+            return available
+        cutoff = self.ratio * median
+        return [
+            w for w in available
+            if stat[w].tasks_completed == 0
+            or stat[w].avg_completion_ms <= cutoff
+        ]
 
     def ready(self, stat: StatTable) -> bool:
-        return any(
-            self._acceptable(stat, w) for w in stat.available_workers()
-        )
+        return bool(self._acceptable_workers(stat))
 
     def eligible(self, stat: StatTable) -> list[int]:
-        return [
-            w for w in stat.available_workers() if self._acceptable(stat, w)
-        ]
+        return self._acceptable_workers(stat)
 
     def describe(self) -> str:
         return f"CompletionTimeBarrier(ratio={self.ratio})"
-
-
-class LambdaBarrier(BarrierPolicy):
-    """Wrap a user predicate ``f(stat) -> bool`` (the paper's raw API)."""
-
-    def __init__(
-        self,
-        ready_fn: Callable[[StatTable], bool],
-        eligible_fn: Callable[[StatTable], list[int]] | None = None,
-        name: str = "LambdaBarrier",
-    ) -> None:
-        self._ready = ready_fn
-        self._eligible = eligible_fn
-        self._name = name
-
-    def ready(self, stat: StatTable) -> bool:
-        return bool(self._ready(stat))
-
-    def eligible(self, stat: StatTable) -> list[int]:
-        if self._eligible is not None:
-            return list(self._eligible(stat))
-        return stat.available_workers()
-
-    def describe(self) -> str:
-        return self._name
-
-
-class AndBarrier(BarrierPolicy):
-    """Both policies ready; eligibility is the intersection."""
-
-    def __init__(self, a: BarrierPolicy, b: BarrierPolicy) -> None:
-        self.a, self.b = a, b
-
-    def ready(self, stat: StatTable) -> bool:
-        return self.a.ready(stat) and self.b.ready(stat)
-
-    def eligible(self, stat: StatTable) -> list[int]:
-        eb = set(self.b.eligible(stat))
-        return [w for w in self.a.eligible(stat) if w in eb]
-
-    def describe(self) -> str:
-        return f"({self.a.describe()} & {self.b.describe()})"
-
-
-class OrBarrier(BarrierPolicy):
-    """Either policy ready; eligibility is the union (stable order)."""
-
-    def __init__(self, a: BarrierPolicy, b: BarrierPolicy) -> None:
-        self.a, self.b = a, b
-
-    def ready(self, stat: StatTable) -> bool:
-        return self.a.ready(stat) or self.b.ready(stat)
-
-    def eligible(self, stat: StatTable) -> list[int]:
-        out = list(self.a.eligible(stat))
-        seen = set(out)
-        for w in self.b.eligible(stat):
-            if w not in seen:
-                out.append(w)
-        return out
-
-    def describe(self) -> str:
-        return f"({self.a.describe()} | {self.b.describe()})"
-
-
-def as_barrier(
-    policy: BarrierPolicy | Callable[[StatTable], bool] | None,
-) -> BarrierPolicy:
-    """Coerce user input (policy object, plain predicate, None) to a policy."""
-    if policy is None:
-        return ASP()
-    if isinstance(policy, BarrierPolicy):
-        return policy
-    if callable(policy):
-        return LambdaBarrier(policy)
-    raise TypeError(f"cannot interpret {policy!r} as a barrier policy")

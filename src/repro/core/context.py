@@ -28,7 +28,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.core.barriers import BarrierPolicy, as_barrier
+from repro.core.barriers import BarrierPolicy, as_barrier  # noqa: F401
+from repro.core.policies import SchedulingPolicy, as_policy
 from repro.core.broadcaster import AsyncBroadcaster, HistoryBroadcast
 from repro.core.coordinator import Coordinator
 from repro.core.records import TaskResultRecord
@@ -49,7 +50,7 @@ class ASYNCContext:
     def __init__(
         self,
         ctx: ClusterContext,
-        default_barrier: BarrierPolicy | Callable[[StatTable], bool] | None = None,
+        default_barrier: SchedulingPolicy | Callable[[StatTable], bool] | None = None,
         pipeline_depth: int = 1,
     ) -> None:
         self.ctx = ctx
@@ -57,7 +58,23 @@ class ASYNCContext:
         self.coordinator = Coordinator(self.stat, pipeline_depth)
         self.scheduler = AsyncScheduler(self)
         self.broadcaster = AsyncBroadcaster(ctx)
-        self.default_barrier = as_barrier(default_barrier)
+        self.default_barrier = as_policy(default_barrier)
+
+    @property
+    def default_policy(self) -> SchedulingPolicy:
+        """The scheduling policy used when a round names none (new spelling)."""
+        return self.default_barrier
+
+    # -- partition placement ----------------------------------------------------
+    @property
+    def placement(self) -> dict[int, int]:
+        """Live partition -> worker overlay maintained by ``place`` hooks."""
+        return self.coordinator.placement
+
+    @property
+    def migrations(self) -> int:
+        """Accepted partition moves so far."""
+        return self.coordinator.migrations
 
     # -- versioning --------------------------------------------------------------
     @property

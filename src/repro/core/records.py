@@ -31,6 +31,9 @@ class TaskResultRecord:
     submitted_ms / delivered_ms / compute_ms: timing attributes.
     partition: the data partition the task covered when it was submitted
         at partition granularity (``None`` for worker-granular tasks).
+    weight: the scheduling policy's contribution weight for this result
+        (1.0 unless a ``weight`` hook discounts it), stamped by the
+        server loop at collection time.
     """
 
     value: Any
@@ -44,6 +47,7 @@ class TaskResultRecord:
     compute_ms: float
     job_id: int = -1
     partition: int | None = None
+    weight: float = 1.0
 
     @property
     def turnaround_ms(self) -> float:

@@ -1,17 +1,22 @@
 """ASYNCscheduler (Section 4.4).
 
-Dispatches tasks to eligible workers, where eligibility is decided by a
-barrier-control policy over the live STAT table. ``submit_round`` blocks
+Dispatches tasks to targets chosen by a :class:`~repro.core.policies.
+SchedulingPolicy` over the live STAT table. ``submit_round`` blocks
 (advancing backend time) until the policy's ``ready`` predicate holds,
-then ships tasks to the workers the policy selects — the mechanism behind
-ASP / BSP / SSP and the user-defined filters of Listing 2.
+then:
 
-The schedulable unit is selectable: at ``granularity="worker"`` (the
-paper's model) each eligible worker receives one locally-reducing task
-over all of its partitions; at ``granularity="partition"`` each resident
-partition becomes its own task carrying its partition identity through
-the dispatcher, backend metrics, STAT rows and result records — the
-stream Hogwild-style and federated update rules consume.
+1. consults the policy's ``place`` hook and records accepted
+   partition -> worker moves in the coordinator's placement overlay,
+2. builds the round's candidate :class:`~repro.core.policies.Target`
+   list — one worker-target per data-owning alive worker at
+   ``granularity="worker"``, one partition-target per resident partition
+   (worker-major order) at ``granularity="partition"``,
+3. hands the candidates to the policy's ``select`` hook and ships one
+   task per chosen target.
+
+This is the mechanism behind ASP / BSP / SSP, the user-defined filters
+of Listing 2, and the richer disciplines (client sampling, per-partition
+completion filtering, partition migration) the protocol enables.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.cluster.backend import TaskMetrics, WorkerEnv
-from repro.core.barriers import BarrierPolicy
+from repro.core.policies import SchedulingPolicy, Target, as_policy
 from repro.errors import SchedulerError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -33,7 +38,7 @@ TaskFactory = Callable[[int, list[int]], Callable[[WorkerEnv], tuple[Any, int]]]
 
 
 class AsyncScheduler:
-    """Barrier-gated, worker-granular task dispatch."""
+    """Policy-gated task dispatch at worker or partition granularity."""
 
     def __init__(self, ac: "ASYNCContext") -> None:
         self.ac = ac
@@ -43,14 +48,19 @@ class AsyncScheduler:
         #: Subset of ``tasks_submitted`` that carried partition identity.
         self.partition_tasks_submitted = 0
 
+    @property
+    def migrations(self) -> int:
+        """Accepted partition moves (kept on the coordinator's overlay)."""
+        return self.ac.coordinator.migrations
+
     def submit_round(
         self,
         rdd: "RDD",
         make_fn: TaskFactory,
-        policy: BarrierPolicy,
+        policy: SchedulingPolicy,
         granularity: str = "worker",
     ) -> list[int]:
-        """Wait for the barrier, then dispatch to eligible workers.
+        """Wait for the policy, then dispatch to the targets it selects.
 
         ``granularity`` selects the submission unit:
 
@@ -69,6 +79,7 @@ class AsyncScheduler:
             raise SchedulerError(
                 f"unknown submission granularity {granularity!r}"
             )
+        policy = as_policy(policy)
         ac = self.ac
         backend = ac.ctx.backend
         stat = ac.stat
@@ -79,32 +90,97 @@ class AsyncScheduler:
         )
         if not satisfied:
             raise SchedulerError(
-                f"barrier {policy.describe()} can never be satisfied: "
+                f"policy {policy.describe()} can never be satisfied: "
                 f"{stat.num_available}/{len(stat)} workers available, "
                 f"{self.in_flight} task(s) in flight"
             )
 
         with backend.state_lock:
-            data_owners = {
-                ac.ctx.owner_of(p) for p in range(rdd.num_partitions)
-            }
-            targets = [
-                w
-                for w in policy.eligible(stat)
-                if w in data_owners and backend.worker_env(w).alive
+            coordinator = ac.coordinator
+            # 1. Placement: let the policy reassign partitions before the
+            # round's candidates are built, so moves take effect now.
+            moves = policy.place(stat)
+            if moves:
+                num_partitions = rdd.num_partitions
+
+                def alive(w: int) -> bool:
+                    return (
+                        0 <= w < len(stat)
+                        and stat[w].alive
+                        and backend.worker_env(w).alive
+                    )
+
+                coordinator.apply_placement(
+                    {
+                        p: w for p, w in moves.items()
+                        if 0 <= p < num_partitions
+                    },
+                    ac.ctx.owner_of,
+                    acceptable=alive,
+                )
+
+            # 2. Candidates: alive workers holding data (under the current
+            # placement), in worker-id order; availability filtering is
+            # the policy's job (the default select admits available ones).
+            assigned: dict[int, list[int]] = {}
+            for p in range(rdd.num_partitions):
+                assigned.setdefault(
+                    coordinator.owner_of(p, ac.ctx.owner_of), []
+                ).append(p)
+            owner_workers = [
+                w for w in sorted(assigned) if backend.worker_env(w).alive
             ]
-            version = ac.coordinator.version
+            if granularity == "worker":
+                candidates = [Target("worker", w, w) for w in owner_workers]
+            else:
+                candidates = [
+                    Target("partition", p, w)
+                    for w in owner_workers
+                    for p in assigned[w]
+                ]
+
+            # 3. Selection and dispatch.
+            chosen = policy.select(stat, candidates)
+            allowed = set(candidates)
+            version = coordinator.version
             job_id = ac.ctx.dispatcher.new_job_id()
-            for w in targets:
-                splits = ac.ctx.partitions_of(w, rdd.num_partitions)
+            targets: list[int] = []
+            seen_workers: set[int] = set()
+            seen_targets: set[Target] = set()
+            for t in chosen:
+                if t not in allowed:
+                    raise SchedulerError(
+                        f"policy {policy.describe()} selected {t!r}, which "
+                        "was not among this round's candidates"
+                    )
+                if t in seen_targets:
+                    raise SchedulerError(
+                        f"policy {policy.describe()} selected {t!r} twice; "
+                        "a selection must not duplicate targets"
+                    )
+                seen_targets.add(t)
+                if t.worker not in seen_workers:
+                    seen_workers.add(t.worker)
+                    targets.append(t.worker)
                 if granularity == "worker":
-                    self._dispatch(w, make_fn(w, splits), version, job_id)
+                    self._dispatch(
+                        t.worker, make_fn(t.worker, assigned[t.worker]),
+                        version, job_id,
+                    )
                 else:
-                    for split in splits:
-                        self._dispatch(
-                            w, make_fn(w, [split]), version, job_id,
-                            partition=split,
-                        )
+                    self._dispatch(
+                        t.worker, make_fn(t.worker, [t.id]), version, job_id,
+                        partition=t.id,
+                    )
+            if not chosen and self.in_flight == 0:
+                # Nothing dispatched and nothing in flight: the driver
+                # would spin forever waiting for a result that can never
+                # arrive. Fail loudly instead.
+                raise SchedulerError(
+                    f"policy {policy.describe()} selected no targets with "
+                    "no tasks in flight; a selection policy must admit at "
+                    "least one target when the cluster is idle"
+                )
         self.rounds += 1
         return targets
 

@@ -132,6 +132,21 @@ class StatTable:
         """Plain-data view of the partition rows (AC.STAT's finer grain)."""
         return [row.snapshot() for row in self.partition_rows()]
 
+    def median_partition_completion_ms(self) -> float:
+        """Median avg-completion over partitions with history.
+
+        Mirrors :meth:`median_completion_ms` at the partition grain:
+        rows with no completed tasks are excluded so empty rows cannot
+        skew the threshold per-partition completion filters compare
+        against.
+        """
+        vals = [
+            row.avg_completion_ms
+            for row in self.partitions.values()
+            if row.tasks_completed > 0
+        ]
+        return statistics.median(vals) if vals else 0.0
+
     def mean_completion_ms(self) -> float:
         vals = [
             w.avg_completion_ms

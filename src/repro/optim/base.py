@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.core.barriers import BarrierPolicy
+from repro.core.policies import SchedulingPolicy
 from repro.engine.context import ClusterContext
 from repro.engine.matrix import MatrixRDD
 from repro.engine.taskcontext import current_env
@@ -142,19 +142,34 @@ class DistributedOptimizer:
         problem: Problem,
         step: StepSchedule,
         config: OptimizerConfig | None = None,
-        barrier: BarrierPolicy | None = None,
+        barrier: SchedulingPolicy | None = None,
+        policy: SchedulingPolicy | None = None,
     ) -> None:
         if points.dim != problem.dim:
             raise OptimError(
                 f"data dim {points.dim} != problem dim {problem.dim}"
+            )
+        if barrier is not None and policy is not None:
+            raise OptimError(
+                "'policy' is the new spelling of 'barrier'; pass only one"
             )
         self.ctx = ctx
         self.points = points
         self.problem = problem
         self.step = step
         self.config = config or OptimizerConfig()
-        self.barrier = barrier
+        #: The run's scheduling policy (``barrier=`` is the legacy alias).
+        self.policy = policy if policy is not None else barrier
         self.n_total = points.n_rows
+
+    @property
+    def barrier(self) -> SchedulingPolicy | None:
+        """Legacy alias for :attr:`policy` (the old two-hook name)."""
+        return self.policy
+
+    @barrier.setter
+    def barrier(self, value: SchedulingPolicy | None) -> None:
+        self.policy = value
 
     # -- helpers shared by subclasses -------------------------------------------------
     def _round_seed(self, round_idx: int) -> int:

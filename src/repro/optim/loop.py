@@ -3,11 +3,13 @@
 Every asynchronous optimizer in this library runs the same driver:
 
 1. publish the current model (broadcast),
-2. let the barrier decide whom to dispatch to, submit one worker-local
-   reduction round,
+2. let the scheduling policy decide when and to which targets to
+   dispatch (its ``ready``/``select``/``place`` hooks), submit one round,
 3. collect at least one result (advancing cluster time), drain the rest,
 4. apply one model update per collected result — budget-gated, with a
-   staleness-aware step size — and snapshot the trace,
+   staleness-aware step size scaled by the policy's ``weight`` hook
+   (stamped on ``record.weight`` for rules that average instead of
+   step) — and snapshot the trace,
 5. on exit, let straggling tasks land so the context ends clean.
 
 :class:`ServerLoop` owns that skeleton once; an algorithm contributes only
@@ -45,6 +47,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.core.context import ASYNCContext
+from repro.core.policies import as_policy
 from repro.optim.trace import ConvergenceTrace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -112,9 +115,9 @@ class UpdateRule:
         return self.granularity or self.opt.config.granularity
 
     def dispatch(self, handle, seed: int) -> None:
-        """Submit one asynchronous round (barrier -> sample -> map -> reduce)."""
+        """Submit one asynchronous round (policy -> sample -> map -> reduce)."""
         opt = self.opt
-        gated = opt.points.async_barrier(opt.barrier, self.loop.ac.stat)
+        gated = opt.points.async_barrier(self.loop.policy, self.loop.ac.stat)
         frac = self.sample_fraction()
         if frac is not None:
             gated = gated.sample(frac, seed=seed)
@@ -157,9 +160,12 @@ class ServerLoop:
     def __init__(self, opt: "DistributedOptimizer", rule: UpdateRule) -> None:
         self.opt = opt
         self.rule = rule
+        #: The run's scheduling policy, normalized once so the dispatch
+        #: path and the per-result ``weight`` hook see one instance.
+        self.policy = as_policy(opt.policy)
         self.ac = ASYNCContext(
             opt.ctx,
-            default_barrier=opt.barrier,
+            default_barrier=self.policy,
             pipeline_depth=opt.config.pipeline_depth,
         )
 
@@ -184,6 +190,9 @@ class ServerLoop:
 
         def apply_one(record) -> None:
             nonlocal w, updates
+            # The policy's contribution weight rides on the record: step
+            # rules scale alpha by it, averaging rules blend slots by it.
+            record.weight = float(self.policy.weight(record, ac.stat))
             rule.on_collect(record)
             if updates >= cfg.max_updates:
                 return  # budget exhausted; drop late results
@@ -192,6 +201,8 @@ class ServerLoop:
                 opt.step.alpha(opt._step_index(t), record.staleness)
                 if rule.needs_alpha else None
             )
+            if alpha is not None and record.weight != 1.0:
+                alpha *= record.weight
             w_new = rule.apply(w, record, alpha)
             if w_new is None:
                 return  # rejected (e.g. empty mini-batch)
@@ -235,6 +246,8 @@ class ServerLoop:
             ),
             "granularity": rule.effective_granularity(),
             "partition_tasks": ac.scheduler.partition_tasks_submitted,
+            "policy": self.policy.describe(),
+            "migrations": ac.migrations,
         }
         if extras["granularity"] == "partition":
             # The partition-grain analogs, for every rule that ran at

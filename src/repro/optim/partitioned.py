@@ -159,7 +159,18 @@ class LocalSGDRule(UpdateRule):
                 "LocalSGDRule received a worker-granular result; federated "
                 "averaging requires granularity='partition'"
             )
-        self.slots[record.partition] = w_local
+        # Staleness-discounted slot averaging (FedAsync-style): a policy
+        # ``weight`` hook < 1 blends the incoming client model with the
+        # partition's previous slot instead of overwriting it, damping
+        # stale client contributions. weight == 1.0 is the exact FedAvg
+        # overwrite (bit-identical to the pre-policy behavior).
+        wgt = min(record.weight, 1.0)
+        if wgt >= 1.0:
+            self.slots[record.partition] = w_local
+        else:
+            self.slots[record.partition] = (
+                (1.0 - wgt) * self.slots[record.partition] + wgt * w_local
+            )
         return (self.row_weights[:, None] * self.slots).sum(axis=0) / self.total_rows
 
     def algorithm_label(self):

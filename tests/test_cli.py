@@ -125,6 +125,33 @@ def test_list_prints_registries(capsys):
     assert "datasets:" in printed and "tiny_dense" in printed
 
 
+def test_list_enumerates_policies_with_hook_signatures(capsys):
+    assert main(["list"]) == 0
+    printed = capsys.readouterr().out
+    assert "scheduling policies" in printed
+    for line in ("asp: ready", "ct: ready, select", "sample: select",
+                 "fedasync: weight", "migrate: place",
+                 "ssp_partition: ready"):
+        assert f"  {line}" in printed
+    assert "'a & b'" in printed  # the composition grammar is documented
+
+
+def test_run_policy_spec_end_to_end(tmp_path, capsys):
+    out = tmp_path / "summary.json"
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "algorithm": "hogwild", "dataset": "tiny_dense", "num_workers": 4,
+        "num_partitions": 8, "policy": "ssp_partition:4 & sample:0.5",
+        "max_updates": 12, "eval_every": 4, "seed": 0,
+    }))
+    assert main(["run", str(spec), "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "policy='ssp_partition:4 & sample:0.5'" in printed
+    summary = json.loads(out.read_text())
+    assert summary["updates"] == 12
+    assert "ClientSampling" in summary["extras"]["policy"]
+
+
 def test_bad_spec_is_a_clean_error(tmp_path, capsys):
     spec = tmp_path / "bad.json"
     spec.write_text(json.dumps({"algorithm": "quantum",

@@ -147,13 +147,13 @@ def test_figures_cache_reuses_runs(monkeypatch):
     from repro.bench import figures
 
     executed = []
-    real_run_cells = figures.run_cells
+    real_run_cells = figures.run_bench_cells
 
     def counting_run_cells(specs, **kwargs):
         executed.extend(specs)
         return real_run_cells(specs, **kwargs)
 
-    monkeypatch.setattr(figures, "run_cells", counting_run_cells)
+    monkeypatch.setattr(figures, "run_bench_cells", counting_run_cells)
     figures.clear_cache()
     try:
         kwargs = dict(

@@ -1,0 +1,42 @@
+"""Ablation (HIST payoff): curvature-history depth for async L-BFGS.
+
+The point of the bounded ``lbfgs/pairs`` HIST channel: with no history
+(depth 0 — an identity metric, i.e. plain ASGD steps) the method is
+first-order; with a modest deque of damped, staleness-gated curvature
+pairs it reaches a visibly lower loss at the same collected-result
+budget, while ``history_bytes`` stays bounded by the depth instead of
+growing with the iteration count.
+"""
+
+from benchmarks.conftest import *  # noqa: F401,F403
+from repro.bench import figures
+
+DEPTHS = (0, 4, 10)
+
+
+def test_history_depth_buys_loss_at_bounded_bytes(benchmark, run_once):
+    out = run_once(
+        benchmark, figures.ablation_history_depth,
+        depths=DEPTHS, updates=200, verbose=True,
+    )
+    cells = out["cells"]
+
+    # Everyone completes the update budget.
+    for label, res in cells.items():
+        assert res.updates == 200, label
+
+    # Curvature history beats both the ASGD baseline and the depth-0
+    # (identity-metric) variant at the same budget.
+    best = min(cells[f"m={d}"].final_error for d in DEPTHS if d > 0)
+    assert best < cells["asgd"].final_error
+    assert best < cells["m=0"].final_error
+
+    # The history footprint is bounded by the depth, not the run length:
+    # deeper deques store more, but even the deepest stays a few pairs.
+    assert cells["m=0"].extras.get("history_bytes", 0) == 0
+    b4 = cells["m=4"].extras["history_bytes"]
+    b10 = cells["m=10"].extras["history_bytes"]
+    assert 0 < b4 < b10
+    benchmark.extra_info["final_error"] = {
+        label: res.final_error for label, res in cells.items()
+    }

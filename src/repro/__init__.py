@@ -61,6 +61,7 @@ from repro.core.barriers import (
     MinAvailableFraction,
 )
 from repro.core.context import ASYNCContext
+from repro.core.history import HistoryChannel, HistoryStore, RetentionPolicy
 from repro.core.policies import (
     ClientSampling,
     MigrateSlow,
@@ -75,6 +76,7 @@ from repro.optim.admm import AsyncADMM, SyncADMM
 from repro.optim.asaga import AsyncSAGA
 from repro.optim.asgd import AsyncSGD
 from repro.optim.base import OptimizerConfig, RunResult
+from repro.optim.lbfgs import AsyncLBFGS
 from repro.optim.problems import (
     LeastSquaresProblem,
     LogisticRegressionProblem,
@@ -113,6 +115,9 @@ __version__ = "1.1.0"
 __all__ = [
     "ClusterContext",
     "ASYNCContext",
+    "HistoryStore",
+    "HistoryChannel",
+    "RetentionPolicy",
     "BarrierPolicy",
     "SchedulingPolicy",
     "ASP",
@@ -144,6 +149,7 @@ __all__ = [
     "AsyncSVRG",
     "SyncADMM",
     "AsyncADMM",
+    "AsyncLBFGS",
     "ServerLoop",
     "UpdateRule",
     "ExperimentSpec",

@@ -167,6 +167,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "intersect, weights multiply), 'a | b' (either; union; max); "
         "'&' binds tighter"
     )
+    history_users = [
+        name for name in OPTIMIZERS.names()
+        if getattr(OPTIMIZERS.get(name), "uses_history", False)
+    ]
+    print(
+        "history-using optimizers (server-side HIST channels): "
+        + ", ".join(history_users)
+    )
+    print(
+        "  retention policies: all (broadcast history), last:k (bounded "
+        "deques), window:ms (sliding windows)"
+    )
     print(f"datasets: {', '.join(list_datasets())}")
     for name in list_datasets():
         spec = REGISTRY[name]

@@ -52,7 +52,12 @@ __all__ = [
 ]
 
 _SAGA_FAMILY = {"saga", "asaga"}
-_CONSTANT_FAMILY = {"saga", "asaga", "svrg", "asvrg", "admm", "aadmm", "fedavg"}
+_CONSTANT_FAMILY = {
+    "saga", "asaga", "svrg", "asvrg", "admm", "aadmm", "fedavg",
+    # L-BFGS directions are gamma-scaled (the two-loop's H0), so the
+    # schedule stays constant; decay would fight the metric.
+    "async_lbfgs",
+}
 #: Methods whose step schedule drives *client-local* updates (federated
 #: local SGD): each result is an averaged local model, not an additive
 #: gradient step, so the paper's divide-by-P async scaling does not apply.
@@ -289,9 +294,15 @@ def run_experiment(spec: ExperimentSpec | Mapping[str, Any]) -> RunResult:
 
 
 def summarize(prep: PreparedExperiment, result: RunResult) -> dict:
-    """A JSON-safe summary of one run (what the CLI prints and saves)."""
+    """A JSON-safe summary of one run (what the CLI prints and saves).
+
+    Asynchronous runs additionally carry ``run_state`` — the server
+    loop's checkpointable state (policy RNG/counters, placement overlay,
+    bounded HIST channels) — so sweep checkpoint lines hold everything a
+    deterministic restart needs (``ServerLoop(..., restore_state=...)``).
+    """
     problem = prep.problem
-    return {
+    out = {
         "spec": prep.spec.to_dict(),
         "algorithm": result.algorithm,
         "final_error": float(problem.error(result.w)),
@@ -306,6 +317,10 @@ def summarize(prep: PreparedExperiment, result: RunResult) -> dict:
             if isinstance(v, (bool, int, float, str))
         },
     }
+    run_state = result.extras.get("run_state")
+    if run_state is not None:
+        out["run_state"] = run_state
+    return out
 
 
 def _array_digest(value: Any) -> str:

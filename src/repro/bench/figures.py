@@ -49,6 +49,7 @@ __all__ = [
     "ablation_barriers",
     "ablation_staleness_lr",
     "ablation_granularity",
+    "ablation_history_depth",
     "ablation_policies",
     "set_jobs",
     "set_checkpoint",
@@ -850,4 +851,65 @@ def ablation_staleness_lr(
     if verbose:
         print(format_table(out["headers"], rows,
                            title="Ablation - staleness-dependent learning rate (PCS)"))
+    return out
+
+
+def ablation_history_depth(
+    dataset: str = "synth_logistic",
+    depths: tuple[int, ...] = (0, 2, 4, 8, 16),
+    updates: int = 200,
+    delay: str = "cds:0.6",
+    num_workers: int = 4,
+    num_partitions: int = 8,
+    seed: int = 0,
+    verbose: bool = True,
+) -> dict:
+    """Curvature-history depth for async L-BFGS (the HIST payoff).
+
+    Sweeps ``history_depth`` — the bound on the ``lbfgs/pairs`` HIST
+    channel (``keep="last:k"``) — against an ASGD baseline at the same
+    collected-result budget. Depth 0 degrades exactly to a plain
+    gradient step (identity metric), so the sweep isolates what the
+    bounded curvature history buys; per-cell ``history_bytes`` shows
+    what it costs.
+    """
+    from repro.api.spec import ExperimentSpec as ApiSpec
+
+    problem = (
+        "logistic" if REGISTRY[dataset].task == "classification"
+        else "least_squares"
+    )
+    base = ApiSpec(
+        algorithm="async_lbfgs", dataset=dataset, problem=problem,
+        num_workers=num_workers, num_partitions=num_partitions,
+        delay=delay, max_updates=updates,
+        eval_every=max(updates // 10, 1), seed=seed,
+    )
+    labels = ["asgd"] + [f"m={d}" for d in depths]
+    specs = [base.with_overrides(algorithm="asgd")] + [
+        base.with_overrides(params={"history_depth": d}) for d in depths
+    ]
+    results = _run_specs(specs)
+    rows = []
+    cells = {}
+    for label, res in zip(labels, results):
+        rows.append([
+            label, res.final_error, res.elapsed_ms,
+            res.extras.get("pairs_admitted", ""),
+            res.extras.get("pairs_damped", ""),
+            res.extras.get("pairs_rejected_stale", ""),
+            res.extras.get("history_bytes", 0),
+        ])
+        cells[label] = res
+    out = {
+        "headers": ["cell", "final err", "time (ms)", "pairs", "damped",
+                    "stale-rejected", "history bytes"],
+        "rows": rows,
+        "cells": cells,
+    }
+    if verbose:
+        print(format_table(
+            out["headers"], rows,
+            title=f"Ablation - L-BFGS history depth ({dataset} under {delay})",
+        ))
     return out

@@ -32,6 +32,11 @@ from repro.core.barriers import (
 from repro.core.broadcaster import AsyncBroadcaster, HistoryBroadcast
 from repro.core.context import ASYNCContext
 from repro.core.coordinator import Coordinator
+from repro.core.history import (
+    HistoryChannel,
+    HistoryStore,
+    RetentionPolicy,
+)
 from repro.core.policies import (
     AndPolicy,
     ClientSampling,
@@ -68,6 +73,9 @@ __all__ = [
     "ASYNCContext",
     "AsyncBroadcaster",
     "HistoryBroadcast",
+    "HistoryChannel",
+    "HistoryStore",
+    "RetentionPolicy",
     "AsyncScheduler",
     "Coordinator",
     "StatTable",

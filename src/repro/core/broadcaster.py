@@ -13,18 +13,23 @@ is missing from its local cache (typically the current version, once).
 paper's ``w_br.value(index)``). Both record fetch bytes on a miss so the
 simulation charges the transfer; cache hits are free — that difference is
 the entire communication story of Figure 5/8's SAGA experiments.
+
+Storage-wise the broadcaster is the *transport view* over the HIST
+subsystem: every channel it serves is a
+:class:`~repro.core.history.HistoryChannel` in a
+:class:`~repro.core.history.HistoryStore` (by default its own store; the
+:class:`~repro.core.context.ASYNCContext` hands it the coordinator's, so
+broadcast history shares ids, byte accounting and checkpointing with all
+other server-side history).
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Any
 
-import numpy as np
-
 from repro.cluster.backend import WorkerEnv
+from repro.core.history import HistoryChannel, HistoryStore, RetentionPolicy
 from repro.errors import BroadcastError
-from repro.utils.sizeof import sizeof_bytes
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.context import ClusterContext
@@ -32,71 +37,6 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["AsyncBroadcaster", "HistoryBroadcast", "HistoryChannel"]
 
 _MISSING = object()
-
-
-def _freeze(value: Any) -> Any:
-    if isinstance(value, np.ndarray):
-        view = value.view()
-        view.flags.writeable = False
-        return view
-    return value
-
-
-class HistoryChannel:
-    """Server-side store of every version broadcast on one channel."""
-
-    def __init__(self, channel_id: int, name: str) -> None:
-        self.channel_id = channel_id
-        self.name = name
-        self._versions = itertools.count()
-        self._values: dict[int, Any] = {}
-        self._nbytes: dict[int, int] = {}
-        self.total_stored_bytes = 0
-
-    def append(self, value: Any) -> int:
-        """Store a new version; returns its id."""
-        version = next(self._versions)
-        self._values[version] = _freeze(value)
-        nbytes = sizeof_bytes(value)
-        self._nbytes[version] = nbytes
-        self.total_stored_bytes += nbytes
-        return version
-
-    def get(self, version: int) -> Any:
-        try:
-            return self._values[version]
-        except KeyError:
-            raise BroadcastError(
-                f"channel '{self.name}' has no version {version} "
-                "(pruned or never broadcast)"
-            ) from None
-
-    def nbytes(self, version: int) -> int:
-        return self._nbytes.get(version, 0)
-
-    def __contains__(self, version: int) -> bool:
-        return version in self._values
-
-    def versions(self) -> list[int]:
-        return sorted(self._values)
-
-    def latest_version(self) -> int:
-        if not self._values:
-            raise BroadcastError(f"channel '{self.name}' is empty")
-        return max(self._values)
-
-    def prune_below(self, min_version: int) -> int:
-        """Drop versions older than ``min_version``; returns bytes freed.
-
-        Callers (e.g. SAGA) must guarantee no live reference to pruned
-        versions remains — a read of a pruned version raises.
-        """
-        freed = 0
-        for v in [v for v in self._values if v < min_version]:
-            del self._values[v]
-            freed += self._nbytes.pop(v, 0)
-        self.total_stored_bytes -= freed
-        return freed
 
 
 class HistoryBroadcast:
@@ -138,23 +78,31 @@ class HistoryBroadcast:
 
 
 class AsyncBroadcaster:
-    """Driver-side registry of history channels."""
+    """Driver-side transport view over a HIST store's channels."""
 
-    def __init__(self, ctx: "ClusterContext") -> None:
+    def __init__(
+        self, ctx: "ClusterContext", store: HistoryStore | None = None
+    ) -> None:
         self.ctx = ctx
-        self._channel_ids = itertools.count()
-        self._channels: dict[str, HistoryChannel] = {}
+        #: The backing HIST store (own one unless the caller shares its
+        #: coordinator's, which the ASYNCContext does).
+        self.store = store if store is not None else HistoryStore(clock=ctx.now)
 
-    def channel(self, name: str = "model") -> HistoryChannel:
-        ch = self._channels.get(name)
-        if ch is None:
-            ch = HistoryChannel(next(self._channel_ids), name)
-            self._channels[name] = ch
-        return ch
+    def channel(
+        self, name: str = "model", keep: RetentionPolicy | str | None = None
+    ) -> HistoryChannel:
+        """The named HIST channel (created on first access, ``keep="all"``
+        by default — workers may re-reference any version by id)."""
+        return self.store.channel(name, keep=keep)
 
-    def broadcast(self, value: Any, channel: str = "model") -> HistoryBroadcast:
+    def broadcast(
+        self,
+        value: Any,
+        channel: str = "model",
+        keep: RetentionPolicy | str | None = None,
+    ) -> HistoryBroadcast:
         """Publish a new version on ``channel`` and return its handle."""
-        ch = self.channel(channel)
+        ch = self.channel(channel, keep=keep)
         version = ch.append(value)
         return HistoryBroadcast(ch, version)
 

@@ -32,6 +32,7 @@ from repro.core.barriers import BarrierPolicy, as_barrier  # noqa: F401
 from repro.core.policies import SchedulingPolicy, as_policy
 from repro.core.broadcaster import AsyncBroadcaster, HistoryBroadcast
 from repro.core.coordinator import Coordinator
+from repro.core.history import HistoryStore
 from repro.core.records import TaskResultRecord
 from repro.core.scheduler import AsyncScheduler
 from repro.core.stat import StatTable
@@ -55,15 +56,26 @@ class ASYNCContext:
     ) -> None:
         self.ctx = ctx
         self.stat = StatTable(ctx.num_workers)
-        self.coordinator = Coordinator(self.stat, pipeline_depth)
+        self.coordinator = Coordinator(
+            self.stat, pipeline_depth, history=HistoryStore(clock=ctx.now)
+        )
         self.scheduler = AsyncScheduler(self)
-        self.broadcaster = AsyncBroadcaster(ctx)
+        # The broadcaster is the transport view over the coordinator's
+        # HIST store: broadcast channels and server-side history share
+        # one namespace, one accounting, one checkpoint surface.
+        self.broadcaster = AsyncBroadcaster(ctx, store=self.history)
         self.default_barrier = as_policy(default_barrier)
 
     @property
     def default_policy(self) -> SchedulingPolicy:
         """The scheduling policy used when a round names none (new spelling)."""
         return self.default_barrier
+
+    # -- server-side history -----------------------------------------------------
+    @property
+    def history(self) -> HistoryStore:
+        """The run's HIST table (``AC.HIST``), owned by the coordinator."""
+        return self.coordinator.history
 
     # -- partition placement ----------------------------------------------------
     @property

@@ -16,6 +16,7 @@ from collections import deque
 from typing import Any, Callable, Mapping
 
 from repro.cluster.backend import TaskMetrics
+from repro.core.history import HistoryStore
 from repro.core.records import TaskResultRecord
 from repro.core.stat import StatTable
 from repro.errors import TaskError, WorkerLostError
@@ -30,12 +31,24 @@ class Coordinator:
     stops counting as *available*: 1 (default) is the paper's model — a
     worker is available iff it is idle; deeper pipelines keep workers fed
     across the submission round-trip at the cost of extra staleness.
+
+    Alongside ``STAT`` the coordinator owns ``HIST``: the
+    :class:`~repro.core.history.HistoryStore` every server-side history
+    consumer (broadcast channels, variance-reduction aggregates,
+    curvature pairs) registers its channels with.
     """
 
-    def __init__(self, stat: StatTable, pipeline_depth: int = 1) -> None:
+    def __init__(
+        self,
+        stat: StatTable,
+        pipeline_depth: int = 1,
+        history: HistoryStore | None = None,
+    ) -> None:
         if pipeline_depth < 1:
             raise ValueError("pipeline_depth must be >= 1")
         self.stat = stat
+        #: The HIST table (Section 4.3's second pillar).
+        self.history = history if history is not None else HistoryStore()
         self.pipeline_depth = pipeline_depth
         self.results: deque[TaskResultRecord] = deque()
         self.lost_tasks = 0
@@ -90,6 +103,34 @@ class Coordinator:
             self.migration_log.append((partition, current, worker))
             applied += 1
         return applied
+
+    # -- checkpoint state --------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe placement/migration state (the checkpointable part).
+
+        Queued results and worker liveness are execution state that a
+        resumed run rebuilds from its own dispatch; the placement overlay
+        is *decision* state — losing it would silently undo accepted
+        migrations on resume. Empty when no migration ever happened, so
+        callers can cheaply skip serializing a no-op.
+        """
+        if not self.placement and not self.migrations:
+            return {}
+        return {
+            "placement": {str(p): w for p, w in self.placement.items()},
+            "migrations": self.migrations,
+            "migration_log": [list(move) for move in self.migration_log],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Reinstate a :meth:`state_dict` (e.g. from a sweep checkpoint)."""
+        self.placement = {
+            int(p): int(w) for p, w in state.get("placement", {}).items()
+        }
+        self.migrations = int(state.get("migrations", 0))
+        self.migration_log = [
+            tuple(move) for move in state.get("migration_log", [])
+        ]
 
     # -- task lifecycle ----------------------------------------------------------
     def on_assigned(

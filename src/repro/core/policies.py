@@ -149,6 +149,19 @@ class SchedulingPolicy:
     def describe(self) -> str:
         return type(self).__name__
 
+    # -- checkpoint state --------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe mutable state (RNG positions, counters, cooldowns).
+
+        Stateless policies — every classic barrier — return ``{}``.
+        Stateful policies override both methods so a checkpointed run can
+        resume its decision sequence instead of restarting it.
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Reinstate a :meth:`state_dict` (no-op for stateless policies)."""
+
     # Policies compose: (a & b), (a | b).
     def __and__(self, other: "SchedulingPolicy") -> "SchedulingPolicy":
         return AndPolicy(self, other)
@@ -263,6 +276,12 @@ class AndPolicy(SchedulingPolicy):
         # The right operand wins conflicting moves (like dict merge).
         return {**self.a.place(stat), **self.b.place(stat)}
 
+    def state_dict(self) -> dict:
+        return _compose_state(self.a, self.b)
+
+    def load_state(self, state: dict) -> None:
+        _load_compose_state(self.a, self.b, state)
+
     def describe(self) -> str:
         return f"({self.a.describe()} & {self.b.describe()})"
 
@@ -298,8 +317,31 @@ class OrPolicy(SchedulingPolicy):
     def place(self, stat: StatTable) -> dict[int, int]:
         return {**self.a.place(stat), **self.b.place(stat)}
 
+    def state_dict(self) -> dict:
+        return _compose_state(self.a, self.b)
+
+    def load_state(self, state: dict) -> None:
+        _load_compose_state(self.a, self.b, state)
+
     def describe(self) -> str:
         return f"({self.a.describe()} | {self.b.describe()})"
+
+
+def _compose_state(a: SchedulingPolicy, b: SchedulingPolicy) -> dict:
+    """Child states of a composed policy, omitted when both are empty."""
+    sa, sb = a.state_dict(), b.state_dict()
+    if not sa and not sb:
+        return {}
+    return {"a": sa, "b": sb}
+
+
+def _load_compose_state(
+    a: SchedulingPolicy, b: SchedulingPolicy, state: dict
+) -> None:
+    if state.get("a"):
+        a.load_state(state["a"])
+    if state.get("b"):
+        b.load_state(state["b"])
 
 
 # ---------------------------------------------------------------------------
@@ -427,6 +469,16 @@ class ClientSampling(SchedulingPolicy):
         idx = self._rng.choice(n, size=take, replace=False, p=probs)
         idx.sort()  # keep dispatch order
         return [admitted[i] for i in idx]
+
+    def state_dict(self) -> dict:
+        # The BitGenerator state is a JSON-safe dict of named integers;
+        # restoring it continues the draw sequence exactly where the
+        # checkpointed run left off.
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state(self, state: dict) -> None:
+        if "rng" in state:
+            self._rng.bit_generator.state = state["rng"]
 
     def describe(self) -> str:
         return f"ClientSampling(fraction={self.fraction}, mode={self.mode})"
@@ -568,6 +620,18 @@ class MigrateSlow(SchedulingPolicy):
         for p in moves:
             self._moved_at[p] = self._round
         return moves
+
+    def state_dict(self) -> dict:
+        return {
+            "round": self._round,
+            "moved_at": {str(p): r for p, r in self._moved_at.items()},
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._round = int(state.get("round", 0))
+        self._moved_at = {
+            int(p): int(r) for p, r in state.get("moved_at", {}).items()
+        }
 
     def describe(self) -> str:
         return f"MigrateSlow(threshold={self.threshold})"

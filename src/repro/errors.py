@@ -43,6 +43,10 @@ class BroadcastError(EngineError):
     """A broadcast value could not be resolved on a worker."""
 
 
+class HistoryError(EngineError):
+    """A HIST channel was misused (bad retention spec, policy conflict)."""
+
+
 class SchedulerError(EngineError):
     """The scheduler was driven into an invalid state."""
 

@@ -23,6 +23,7 @@ from repro.optim.admm import AsyncADMM, SyncADMM
 from repro.optim.asaga import AsyncSAGA
 from repro.optim.asgd import AsyncSGD
 from repro.optim.base import OptimizerConfig, RunResult
+from repro.optim.lbfgs import AsyncLBFGS, AsyncLBFGSRule
 from repro.optim.loop import ServerLoop, UpdateRule
 from repro.optim.partitioned import (
     FederatedAveraging,
@@ -72,6 +73,8 @@ __all__ = [
     "AsyncSVRG",
     "SyncADMM",
     "AsyncADMM",
+    "AsyncLBFGS",
+    "AsyncLBFGSRule",
     "HogwildSGD",
     "HogwildRule",
     "FederatedAveraging",

@@ -31,17 +31,30 @@ __all__ = ["AsyncSAGA", "ASAGARule"]
 
 
 class ASAGARule(UpdateRule):
-    """SAGA mathematics on the async driver: history handles + avg table."""
+    """SAGA mathematics on the async driver: history handles + avg table.
+
+    All server state lives in the run's HIST store (the model-version
+    channel the broadcaster serves, and the ``averageHistory`` channel),
+    and the rule is *weight-aware*: a scheduling policy's ``weight`` hook
+    damps the stale innovation inside both the step direction and the
+    history update — see :meth:`SagaState.apply_update` — instead of the
+    loop's generic alpha scaling.
+    """
 
     #: Historical convention: ASAGA's first sampling round used seed index 1.
     seed_offset = 1
+    weight_aware = True
 
     def __init__(self, mode: BroadcastMode = "history") -> None:
         self.mode = mode
 
     def bind(self, loop):
         super().bind(loop)
-        self.state = SagaState(self.opt.ctx, self.opt.problem, self.mode)
+        # Share the coordinator-owned HIST store: SAGA's channels appear
+        # in the run's history accounting and checkpoint surface.
+        self.state = SagaState(
+            self.opt.ctx, self.opt.problem, self.mode, store=self.history
+        )
 
     def setup(self, w):
         # Synchronous initialization pass (phi_j = w_0), shared with SAGA.
@@ -67,7 +80,8 @@ class ASAGARule(UpdateRule):
         if count == 0:
             return None
         return self.state.apply_update(
-            w, alpha, g_new, g_old, count, self.opt.n_total
+            w, alpha, g_new, g_old, count, self.opt.n_total,
+            weight=record.weight,
         )
 
     def algorithm_label(self):
@@ -87,6 +101,7 @@ class AsyncSAGA(DistributedOptimizer):
 
     name = "asaga"
     is_async = True
+    uses_history = True
 
     def __init__(self, *args, mode: BroadcastMode = "history", **kwargs):
         super().__init__(*args, **kwargs)

@@ -29,6 +29,13 @@ hook                    role
 ``extras()``            algorithm-specific entries merged into RunResult.extras
 ======================  ========================================================
 
+Rules also get ``self.history`` — the run's HIST store of named, bounded
+server-side history channels (Section 4.3's second pillar; SAGA's
+``averageHistory``, SVRG's epoch anchors and async L-BFGS's curvature
+pairs all live there) — and may set ``weight_aware = True`` to consume
+``record.weight`` inside their own mathematics instead of the loop's
+generic alpha scaling.
+
 The schedulable unit of a round is selectable: a rule (or the config's
 ``granularity``) can dispatch one locally-reduced task per *worker* (the
 paper's model, the default) or one task per *partition* — each result
@@ -51,6 +58,7 @@ from repro.core.policies import as_policy
 from repro.optim.trace import ConvergenceTrace
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.history import HistoryStore
     from repro.core.records import TaskResultRecord
     from repro.optim.base import DistributedOptimizer, RunResult
 
@@ -75,10 +83,22 @@ class UpdateRule:
     #: follow the run's ``OptimizerConfig.granularity``. Rules whose
     #: mathematics only exists at one granularity pin it here.
     granularity: str | None = None
+    #: Whether the rule consumes ``record.weight`` itself (in its history
+    #: update or averaging mathematics). When True, the loop does *not*
+    #: apply the generic alpha-scaling fallback — a weight-aware rule
+    #: decides where the discount belongs, and scaling alpha too would
+    #: double-damp every discounted result.
+    weight_aware = False
 
     def bind(self, loop: "ServerLoop") -> None:
         self.loop = loop
         self.opt = loop.opt
+
+    @property
+    def history(self) -> "HistoryStore":
+        """The run's HIST store (``AC.HIST``) — server-side bounded
+        history channels shared with the broadcaster and coordinator."""
+        return self.loop.ac.history
 
     # -- once-per-run hooks ------------------------------------------------------------
     def initial_point(self):
@@ -155,11 +175,24 @@ class UpdateRule:
 
 
 class ServerLoop:
-    """Owns the asynchronous driver; delegates mathematics to the rule."""
+    """Owns the asynchronous driver; delegates mathematics to the rule.
 
-    def __init__(self, opt: "DistributedOptimizer", rule: UpdateRule) -> None:
+    ``restore_state`` (a previous run's :meth:`state_dict`) reinstates
+    the checkpointable server state — the policy's RNG/counters, the
+    coordinator's placement overlay, and every bounded HIST channel —
+    before the first dispatch, so a resumed run continues the original's
+    decision sequence instead of restarting it.
+    """
+
+    def __init__(
+        self,
+        opt: "DistributedOptimizer",
+        rule: UpdateRule,
+        restore_state: dict | None = None,
+    ) -> None:
         self.opt = opt
         self.rule = rule
+        self.restore_state = restore_state
         #: The run's scheduling policy, normalized once so the dispatch
         #: path and the per-result ``weight`` hook see one instance.
         self.policy = as_policy(opt.policy)
@@ -168,6 +201,19 @@ class ServerLoop:
             default_barrier=self.policy,
             pipeline_depth=opt.config.pipeline_depth,
         )
+
+    def state_dict(self) -> dict:
+        """JSON-safe checkpoint of the run's restartable server state."""
+        return {
+            "policy": self.policy.state_dict(),
+            "coordinator": self.ac.coordinator.state_dict(),
+            "history": self.ac.history.snapshot(bounded_only=True),
+        }
+
+    def _restore(self, state: dict) -> None:
+        self.policy.load_state(state.get("policy", {}))
+        self.ac.coordinator.load_state(state.get("coordinator", {}))
+        self.ac.history.restore(state.get("history", {}))
 
     def run(self) -> "RunResult":
         from repro.optim.base import RunResult
@@ -180,6 +226,11 @@ class ServerLoop:
         trace = ConvergenceTrace()
         trace.record(opt.ctx.now(), 0, w)
         rule.setup(w)
+        if self.restore_state is not None:
+            # Restored state wins over setup defaults (and must land
+            # before the first dispatch so the policy's decision sequence
+            # continues rather than restarts).
+            self._restore(self.restore_state)
         # The paper's wait-time metric is per *iteration*: the window opens
         # after any setup pass (e.g. SAGA's synchronous initialization).
         metrics_start = len(opt.ctx.dispatcher.metrics_log)
@@ -201,7 +252,13 @@ class ServerLoop:
                 opt.step.alpha(opt._step_index(t), record.staleness)
                 if rule.needs_alpha else None
             )
-            if alpha is not None and record.weight != 1.0:
+            # Generic fallback for rules that don't interpret the weight
+            # themselves: a discounted result takes a shorter step.
+            if (
+                alpha is not None
+                and record.weight != 1.0
+                and not rule.weight_aware
+            ):
                 alpha *= record.weight
             w_new = rule.apply(w, record, alpha)
             if w_new is None:
@@ -238,7 +295,7 @@ class ServerLoop:
         ac.wait_all()
         ac.drain()
 
-        extras = {
+        extras: dict[str, Any] = {
             "lost_tasks": ac.lost_tasks,
             "collected": ac.collected,
             "max_staleness_seen": max(
@@ -257,6 +314,21 @@ class ServerLoop:
                 (row.last_staleness for row in ac.stat.partitions.values()),
                 default=0,
             )
+        if len(ac.history):
+            # Per-channel HIST byte accounting (Section 4.3's second
+            # pillar): what server-side history this run kept, and what
+            # it cost.
+            extras["history"] = ac.history.accounting()
+            extras["history_bytes"] = ac.history.total_stored_bytes
+        # Checkpointable server state (policy RNG/counters, placement
+        # overlay, bounded HIST channels) — rides the sweep checkpoint
+        # path so a resumed cell can continue deterministically. Omitted
+        # entirely when there is nothing to restore (stateless policy,
+        # no migrations, no bounded history), keeping e.g. plain-ASGD
+        # checkpoint lines free of a no-op blob.
+        state = self.state_dict()
+        if any(state.values()):
+            extras["run_state"] = state
         extras.update(rule.extras())
 
         return RunResult(

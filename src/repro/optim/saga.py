@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.api.registry import register_optimizer
 from repro.core.broadcaster import AsyncBroadcaster
+from repro.core.history import HistoryStore
 from repro.data.blocks import MatrixBlock
 from repro.engine.taskcontext import current_env, record_cost
 from repro.errors import OptimError
@@ -92,7 +93,19 @@ class _NaiveHandle:
 
 
 class SagaState:
-    """Driver-side SAGA bookkeeping shared by the sync and async variants."""
+    """Driver-side SAGA bookkeeping shared by the sync and async variants.
+
+    All server-side history lives in HIST channels of one
+    :class:`~repro.core.history.HistoryStore` (the async variant shares
+    the run's coordinator-owned store, the sync variant owns a private
+    one):
+
+    - ``saga-<tag>`` — the broadcast model versions (``keep="all"``:
+      workers re-reference any ``phi_s`` version by id),
+    - ``saga-<tag>/avg_hist`` — Algorithm 4 line 8's ``averageHistory``
+      (``keep="last:1"``: only the current running average matters),
+    - ``saga-<tag>/table`` — naive mode's ever-growing parameter table.
+    """
 
     def __init__(
         self,
@@ -100,6 +113,7 @@ class SagaState:
         problem: Problem,
         mode: BroadcastMode,
         channel: str | None = None,
+        store: HistoryStore | None = None,
     ) -> None:
         if mode not in ("history", "naive"):
             raise OptimError(f"unknown SAGA broadcast mode {mode!r}")
@@ -107,22 +121,35 @@ class SagaState:
         self.problem = problem
         self.mode = mode
         self.run_tag = next(_run_tags)
-        self.avg_hist = np.zeros(problem.dim)
-        self.broadcaster = AsyncBroadcaster(ctx)
+        self.store = store if store is not None else HistoryStore(clock=ctx.now)
         self.channel = channel or f"saga-{self.run_tag}"
-        self._naive_history: dict[int, np.ndarray] = {}
-        self._naive_versions = itertools.count()
+        self._avg = self.store.channel(f"{self.channel}/avg_hist", keep="last:1")
+        self._avg.append(np.zeros(problem.dim))
+        self.broadcaster = AsyncBroadcaster(ctx, store=self.store)
+        self._naive = (
+            self.store.channel(f"{self.channel}/table", keep="all")
+            if mode == "naive" else None
+        )
         self.naive_broadcast_bytes = 0
+
+    @property
+    def avg_hist(self) -> np.ndarray:
+        """The running average of stored per-sample gradients (``A``)."""
+        return self._avg.latest()
+
+    @avg_hist.setter
+    def avg_hist(self, value: np.ndarray) -> None:
+        self._avg.append(np.asarray(value, dtype=np.float64))
 
     def publish(self, w: np.ndarray):
         """Publish the current model; returns a resolver handle."""
         if self.mode == "history":
             hb = self.broadcaster.broadcast(np.array(w, copy=True), self.channel)
             return _HistoryHandle(hb)
-        version = next(self._naive_versions)
-        self._naive_history[version] = np.array(w, copy=True)
-        bc = self.ctx.broadcast(dict(self._naive_history))
-        self.naive_broadcast_bytes += sizeof_bytes(self._naive_history)
+        version = self._naive.append(np.array(w, copy=True))
+        table = {v: self._naive.get(v) for v in self._naive.versions()}
+        bc = self.ctx.broadcast(table)
+        self.naive_broadcast_bytes += sizeof_bytes(table)
         return _NaiveHandle(bc, version)
 
     def versions_key(self, block_id: int) -> tuple:
@@ -130,17 +157,30 @@ class SagaState:
 
     def apply_update(
         self, w: np.ndarray, alpha: float, g_new: np.ndarray,
-        g_old: np.ndarray, count: int, n_total: int,
+        g_old: np.ndarray, count: int, n_total: int, weight: float = 1.0,
     ) -> np.ndarray:
-        """One SAGA step; mutates ``avg_hist`` and returns the new ``w``."""
+        """One SAGA step; advances ``avg_hist`` and returns the new ``w``.
+
+        ``weight`` (a scheduling policy's per-result contribution weight)
+        damps the *innovation* — the fresh-minus-stored gradient
+        difference — in both the step direction and the running-average
+        update, while the historical average itself stays fully trusted.
+        ``weight=1.0`` is bit-identical to unweighted SAGA.
+        """
         if count <= 0:
             return w
         lam = self.problem.lam
-        direction = (g_new - g_old) / count + self.avg_hist
+        innovation = (g_new - g_old) / count
+        if weight != 1.0:
+            innovation = weight * innovation
+        direction = innovation + self.avg_hist
         if lam:
             direction = direction + lam * w
         w = w - alpha * direction
-        self.avg_hist += (g_new - g_old) / n_total
+        delta = (g_new - g_old) / n_total
+        if weight != 1.0:
+            delta = weight * delta
+        self.avg_hist = self.avg_hist + delta
         return w
 
 
@@ -223,6 +263,7 @@ class SyncSAGA(DistributedOptimizer):
     """Bulk-synchronous SAGA with pluggable broadcast strategy."""
 
     name = "saga"
+    uses_history = True
 
     def __init__(self, *args, mode: BroadcastMode = "history", **kwargs):
         super().__init__(*args, **kwargs)
@@ -280,5 +321,7 @@ class SyncSAGA(DistributedOptimizer):
                 "mode": self.mode,
                 "naive_broadcast_bytes": state.naive_broadcast_bytes,
                 "avg_hist_norm": float(np.linalg.norm(state.avg_hist)),
+                "history": state.store.accounting(),
+                "history_bytes": state.store.total_stored_bytes,
             },
         )

@@ -55,11 +55,17 @@ class _SVRGBase(DistributedOptimizer):
             mu = mu + problem.lam * w
         return mu
 
-    def _vr_direction(self, g_new, g_old, count, mu, w):
+    def _vr_direction(self, g_new, g_old, count, mu, w, weight: float = 1.0):
         problem = self.problem
-        g = (g_new - g_old) / count + mu
+        innovation = (g_new - g_old) / count
+        if weight != 1.0:
+            # Weight-aware variance reduction: a discounted (stale)
+            # result contributes less innovation; as weight -> 0 the
+            # direction falls back to the trusted anchor gradient mu.
+            innovation = weight * innovation
+        g = innovation + mu
         # mu already contains the regularizer gradient at w_tilde; correct
-        # it to the current iterate.
+        # it to the current iterate (deterministic, never discounted).
         if problem.lam:
             g = g + problem.lam * (w - self._w_tilde)
         return g
@@ -70,6 +76,7 @@ class SyncSVRG(_SVRGBase):
     """Synchronous SVRG (Johnson & Zhang) on the BSP path."""
 
     name = "svrg"
+    uses_history = True
 
     def run(self) -> RunResult:
         cfg = self.config
@@ -129,13 +136,27 @@ class SyncSVRG(_SVRGBase):
 
 
 class ASVRGRule(UpdateRule):
-    """SVRG's inner loop as an update rule; epochs via ``begin_epoch``."""
+    """SVRG's inner loop as an update rule; epochs via ``begin_epoch``.
+
+    The epoch anchor ``w_tilde`` and its full gradient ``mu`` live in
+    bounded HIST channels (``svrg/anchor``, ``svrg/mu``; ``keep=
+    "last:1"`` — only the current epoch's anchor is ever read), so epoch
+    state shares the run's history accounting and checkpoint surface.
+    The rule is weight-aware: a policy ``weight`` hook damps the
+    variance-reduction innovation, not the whole step.
+    """
 
     seed_offset = 1
+    weight_aware = True
 
     def __init__(self, inner_iterations: int) -> None:
         self.epoch_length = inner_iterations
         self.epochs = 0
+
+    def bind(self, loop):
+        super().bind(loop)
+        self.anchor_channel = self.history.channel("svrg/anchor", keep="last:1")
+        self.mu_channel = self.history.channel("svrg/mu", keep="last:1")
 
     def begin_epoch(self, w):
         # Epoch barrier: wait out in-flight inner tasks, then the
@@ -143,8 +164,9 @@ class ASVRGRule(UpdateRule):
         opt, ac = self.opt, self.loop.ac
         ac.wait_all()
         ac.drain()
-        opt._w_tilde = np.array(w, copy=True)
-        self.mu = opt._full_gradient(opt._w_tilde)
+        self.anchor_channel.append(np.array(w, copy=True))
+        opt._w_tilde = self.anchor_channel.latest()
+        self.mu_channel.append(opt._full_gradient(opt._w_tilde))
         self.wt_br = opt.ctx.broadcast(opt._w_tilde)
         self.epochs += 1
 
@@ -173,7 +195,10 @@ class ASVRGRule(UpdateRule):
         (g_sum, h_sum), count = record.value
         if count == 0:
             return None
-        g = self.opt._vr_direction(g_sum, h_sum, count, self.mu, w)
+        g = self.opt._vr_direction(
+            g_sum, h_sum, count, self.mu_channel.latest(), w,
+            weight=record.weight,
+        )
         return w - alpha * g
 
     def extras(self):
@@ -186,6 +211,7 @@ class AsyncSVRG(_SVRGBase):
 
     name = "asvrg"
     is_async = True
+    uses_history = True
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)

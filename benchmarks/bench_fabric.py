@@ -1,0 +1,95 @@
+"""Throughput of the distributed sweep fabric at 1, 2, and 4 workers.
+
+Runs the same multi-cell grid serially through ``run_grid`` and then
+through the fabric (``fabric={"local_workers": N, ...}``) at each worker
+count, asserts every fabric run's summaries are bit-identical to the
+serial sweep, and writes a ``BENCH_fabric.json`` record so the scaling
+trajectory accumulates across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py --updates 1200
+
+The grid mirrors ``benchmarks/bench_sweep_parallel.py``: independent
+simulated ASGD runs (barrier x seed) sized so per-cell work dominates
+worker startup. ``lease_size`` is kept small so cells actually spread
+across workers instead of one worker draining a whole group lease.
+Cells/sec at each scale is the headline number; on a single-core box
+extra workers degrade to ~1x, so the record includes the core count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import run_grid  # noqa: E402
+from repro.api.parallel import resolve_jobs  # noqa: E402
+from bench_sweep_parallel import sweep_grid  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="fabric worker counts to sweep (default 1 2 4)")
+    parser.add_argument("--cells", type=int, default=8,
+                        help="minimum grid cells (default 8)")
+    parser.add_argument("--updates", type=int, default=1200,
+                        help="max_updates per cell (default 1200)")
+    parser.add_argument("--lease-size", type=int, default=1,
+                        help="cells per lease (default 1: max spread)")
+    parser.add_argument("--out", default="BENCH_fabric.json",
+                        help="where to write the scaling record")
+    args = parser.parse_args(argv)
+
+    grid = sweep_grid(args.cells, args.updates)
+
+    t0 = time.perf_counter()
+    serial = run_grid(grid, jobs=1)
+    t_serial = time.perf_counter() - t0
+    cells = len(serial)
+
+    scales = []
+    parity = True
+    for workers in args.workers:
+        t0 = time.perf_counter()
+        fabric = run_grid(grid, fabric={
+            "local_workers": workers,
+            "lease_size": args.lease_size,
+            "lease_ttl": 60.0,
+        })
+        elapsed = time.perf_counter() - t0
+        ok = fabric == serial
+        parity = parity and ok
+        scales.append({
+            "workers": workers,
+            "fabric_s": round(elapsed, 4),
+            "cells_per_s": round(cells / max(elapsed, 1e-9), 3),
+            "speedup": round(t_serial / max(elapsed, 1e-9), 3),
+            "parity": ok,
+        })
+
+    record = {
+        "bench": "fabric",
+        "cells": cells,
+        "updates_per_cell": args.updates,
+        "lease_size": args.lease_size,
+        "cpu_count": resolve_jobs(0),
+        "serial_s": round(t_serial, 4),
+        "serial_cells_per_s": round(cells / max(t_serial, 1e-9), 3),
+        "scales": scales,
+        "parity": parity,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    if not parity:
+        print("FAIL: fabric summaries differ from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

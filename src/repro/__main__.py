@@ -5,6 +5,9 @@
     python -m repro run examples/specs/asgd.json
     python -m repro sweep examples/specs/asgd_barrier_sweep.json --out results.json
     python -m repro sweep examples/specs/parallel_sweep.json --jobs 4 --resume
+    python -m repro sweep grid.json --serve 2859          # fabric coordinator
+    python -m repro sweep-worker otherhost:2859           # fabric worker
+    python -m repro sweep-status grid.ckpt.jsonl          # live progress
     python -m repro list
 
 ``run`` executes a single :class:`~repro.api.ExperimentSpec`; ``sweep``
@@ -12,8 +15,15 @@ expands a :class:`~repro.api.GridSpec` (a plain spec counts as a 1-cell
 grid) and runs every cell — ``--jobs N`` fans cells across a process
 pool with identical results, and each summary streams to a checkpoint
 JSONL as it lands so ``--resume`` re-runs only unfinished cells after an
-interrupt. Both commands print human-readable summaries and can write
-the machine-readable form with ``--out``.
+interrupt. ``--serve``/``--local-workers`` swap the pool for the
+distributed sweep fabric (:mod:`repro.fabric`): the sweep command
+becomes a coordinator serving cell leases over a socket, and any number
+of ``sweep-worker`` processes — on this host or others — pull, execute,
+and stream summaries back into the same checkpoint with work stealing
+and at-most-once accounting. ``sweep-status`` renders a running (or
+finished) fabric sweep's progress from the checkpoint's status sidecar.
+Both run/sweep print human-readable summaries and can write the
+machine-readable form with ``--out``.
 """
 
 from __future__ import annotations
@@ -98,6 +108,26 @@ def _default_checkpoint(spec_path: str) -> str | None:
     return str(Path(spec_path).with_suffix(".ckpt.jsonl"))
 
 
+def _fabric_from_args(args: argparse.Namespace):
+    """``--serve``/``--local-workers`` -> a ``run_grid(fabric=...)`` value
+    (``None`` when neither flag asks for the fabric)."""
+    if not args.serve and not args.local_workers:
+        return None
+    fabric: dict = {}
+    if args.serve:
+        endpoint = args.serve
+        if ":" not in endpoint:
+            # A bare port on the CLI means "serve this sweep to other
+            # hosts": bind every interface, not just loopback.
+            endpoint = f"0.0.0.0:{endpoint}"
+        fabric["serve"] = endpoint
+    if args.local_workers:
+        fabric["local_workers"] = args.local_workers
+    if args.lease_ttl is not None:
+        fabric["lease_ttl"] = args.lease_ttl
+    return fabric
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api.parallel import resolve_jobs
     from repro.api.runner import run_grid
@@ -118,16 +148,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--resume needs a checkpoint file; pass --checkpoint when the "
             "spec comes from stdin"
         )
+    fabric = _fabric_from_args(args)
+    if fabric is not None and args.jobs != 1:
+        raise ReproError(
+            "--jobs runs the local pool; it conflicts with the fabric "
+            "flags (--serve / --local-workers)"
+        )
     grid = GridSpec.coerce(_load_json(args.spec))
     axes = list(grid.grid)
     jobs = resolve_jobs(args.jobs)
+    mode = (
+        f"fabric={fabric}" if fabric is not None else f"jobs={jobs}"
+    )
     print(
         f"sweep: {len(grid)} cell(s) over {axes or ['(single spec)']}"
-        f" [jobs={jobs}"
+        f" [{mode}"
         + (f", checkpoint={checkpoint}" if checkpoint else "")
         + (", resume" if args.resume else "")
         + "]"
     )
+    if fabric is not None and fabric.get("serve"):
+        print(
+            f"fabric: serving cell leases on {fabric['serve']} — join "
+            f"workers with: python -m repro sweep-worker <host>:"
+            f"{fabric['serve'].rsplit(':', 1)[1]}"
+        )
 
     def progress(i: int, total: int, summary: dict) -> None:
         _print_summary(summary, prefix=f"[{i + 1}/{total}] ")
@@ -137,9 +182,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     summaries = run_grid(
         grid, progress=progress, jobs=jobs, checkpoint=checkpoint,
-        resume=args.resume,
+        resume=args.resume, fabric=fabric,
     )
     _write_out(summaries, args.out)
+    return 0
+
+
+def _cmd_sweep_worker(args: argparse.Namespace) -> int:
+    from repro.fabric import SweepWorker
+
+    worker = SweepWorker(
+        args.endpoint,
+        name=args.name,
+        log=(lambda line: None) if args.quiet else print,
+    )
+    stats = worker.run()
+    print(
+        f"worker {worker.name}: {stats['cells']} cell(s) over "
+        f"{stats['leases']} lease(s)"
+    )
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.fabric import format_status, read_status
+
+    status = read_status(args.checkpoint)
+    if args.json:
+        print(_json.dumps(status, indent=2))
+    else:
+        print(format_status(status))
     return 0
 
 
@@ -228,7 +302,53 @@ def main(argv: list[str] | None = None) -> int:
         help="don't stream cell summaries to a checkpoint file "
              "(e.g. when the spec's directory is read-only)",
     )
+    p_sweep.add_argument(
+        "--serve", metavar="[HOST:]PORT",
+        help="run as a fabric coordinator: serve cell leases on this "
+             "endpoint and wait for sweep-worker processes (a bare port "
+             "binds every interface)",
+    )
+    p_sweep.add_argument(
+        "--local-workers", type=int, default=0, metavar="N",
+        help="spawn N local fabric worker subprocesses for this sweep "
+             "(usable alone — an ephemeral loopback coordinator — or "
+             "with --serve)",
+    )
+    p_sweep.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="fabric lease deadline: a worker silent this long has its "
+             "cells re-issued to others (default 30)",
+    )
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_worker = sub.add_parser(
+        "sweep-worker",
+        help="join a fabric sweep: pull cell leases from a coordinator, "
+             "execute, stream summaries back",
+    )
+    p_worker.add_argument(
+        "endpoint", help="the coordinator's host:port (from sweep --serve)"
+    )
+    p_worker.add_argument(
+        "--name", help="worker name in status views (default host-pid)"
+    )
+    p_worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell log lines"
+    )
+    p_worker.set_defaults(fn=_cmd_sweep_worker)
+
+    p_status = sub.add_parser(
+        "sweep-status",
+        help="show a fabric sweep's progress (done / in-flight / "
+             "re-issued, per-worker throughput, ETA) from its checkpoint",
+    )
+    p_status.add_argument(
+        "checkpoint", help="the sweep's checkpoint JSONL path"
+    )
+    p_status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_status.set_defaults(fn=_cmd_sweep_status)
 
     p_list = sub.add_parser("list", help="list registered components and datasets")
     p_list.set_defaults(fn=_cmd_list)

@@ -15,6 +15,10 @@ the figure drivers in :mod:`repro.bench.figures`):
   appended to the checkpoint file the moment its cell finishes, so an
   interrupted sweep keeps its partial results and ``resume=True`` re-runs
   only the unfinished cells.
+- ``run_grid_cells(fabric=...)`` swaps the process pool for the
+  distributed sweep fabric (:mod:`repro.fabric`): a socket coordinator
+  leases the same grouped cells to local or remote ``sweep-worker``
+  processes, with work stealing and at-most-once checkpoint accounting.
 
 Serial (``jobs=1``) and parallel paths execute the exact same per-cell
 code, so their summaries are bit-identical.
@@ -258,29 +262,62 @@ class SweepCheckpoint:
     def entries(self) -> list[tuple[int, str | None, Any]]:
         """Every valid ``(index, key, summary)`` line, in file order.
 
-        Malformed lines — including a truncated final line from a kill
-        mid-write — are skipped. Callers choose the matching discipline:
-        ``load`` keys by index (grid resume), the bench runner keys by
-        canonical spec key (batches re-slice cells in different orders).
+        A final chunk with no trailing newline is a *torn* line — the
+        writer (a killed worker or coordinator) died mid-``write`` — and
+        is skipped, as is any malformed interior line, so resume never
+        raises on a partial checkpoint. Callers choose the matching
+        discipline: ``load`` keys by index (grid resume), the bench
+        runner keys by canonical spec key (batches re-slice cells in
+        different orders).
         """
         out: list[tuple[int, str | None, Any]] = []
         try:
-            text = self.path.read_text()
+            data = self.path.read_bytes()
         except OSError:
             return out
-        for line in text.splitlines():
-            line = line.strip()
-            if not line:
+        lines = data.split(b"\n")
+        if lines and lines[-1]:
+            # ``append`` always terminates with a newline, so a dangling
+            # final chunk is a torn write (or one still in flight).
+            lines = lines[:-1]
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
                 continue
             try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
+                entry = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
                 continue
             if isinstance(entry, dict) and isinstance(entry.get("index"), int):
                 out.append(
                     (entry["index"], entry.get("key"), entry.get("summary"))
                 )
         return out
+
+    def seal(self) -> None:
+        """Terminate a torn trailing line before appending resumes.
+
+        A writer killed mid-``append`` leaves a newline-less tail; a
+        later append would otherwise glue its (valid) line onto that
+        fragment and lose both. Called on resume, this writes the
+        missing newline so the fragment stays an isolated, skipped line.
+        """
+        try:
+            data = self.path.read_bytes()
+        except OSError:
+            return
+        if not data or data.endswith(b"\n"):
+            return
+        try:
+            fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+            try:
+                os.write(fd, b"\n")
+            finally:
+                os.close(fd)
+        except OSError as exc:
+            raise ApiError(
+                f"cannot write checkpoint {str(self.path)!r}: {exc}"
+            ) from exc
 
     def load(self) -> dict[int, tuple[str | None, Any]]:
         """``{index: (key, summary)}``; later lines win, a truncated final
@@ -290,14 +327,25 @@ class SweepCheckpoint:
         }
 
     def append(self, index: int, key: str, summary: Any) -> None:
-        line = json.dumps(
+        """Append one line with a single ``write`` on an ``O_APPEND`` fd.
+
+        One unbuffered syscall per line (not a buffered text stream that
+        may split it) plus kernel-side append positioning means
+        concurrent appenders interleave whole lines, and a writer killed
+        mid-call tears at most its own line — which ``entries`` skips.
+        """
+        data = json.dumps(
             {"index": index, "key": key, "summary": summary},
             separators=(",", ":"),
-        )
+        ).encode("utf-8") + b"\n"
         try:
-            with self.path.open("a") as fh:
-                fh.write(line + "\n")
-                fh.flush()
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, data)
+            finally:
+                os.close(fd)
         except OSError as exc:
             raise ApiError(
                 f"cannot write checkpoint {str(self.path)!r}: {exc}"
@@ -311,6 +359,7 @@ def run_grid_cells(
     jobs: int = 1,
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
+    fabric: Any = None,
 ) -> list[dict]:
     """Run every cell of a sweep; one summary dict per cell, in grid order.
 
@@ -319,6 +368,15 @@ def run_grid_cells(
     With ``checkpoint``, each summary is appended to the JSONL file as it
     lands; with ``resume``, cells whose checkpoint entry still matches
     their spec are returned from the file instead of re-running.
+
+    ``fabric`` (see :func:`repro.fabric.parse_fabric`) executes the
+    pending cells through the distributed sweep fabric instead of the
+    local pool: a coordinator serves cell leases on a socket and any
+    number of ``sweep-worker`` processes — spawned locally via
+    ``fabric="local:N"`` or joined from other hosts — pull, execute, and
+    stream summaries back. ``jobs`` is ignored in fabric mode. Results,
+    checkpoint lines, and resume semantics are identical to the serial
+    path.
     """
     grid = GridSpec.coerce(grid)
     specs = grid.expand()
@@ -331,6 +389,7 @@ def run_grid_cells(
     results: list[Any] = [None] * total
     done: dict[int, Any] = {}
     if resume:
+        ckpt.seal()  # a crashed writer's torn tail must not eat appends
         for index, (key, summary) in ckpt.load().items():
             if 0 <= index < total and key == keys[index]:
                 done[index] = summary
@@ -345,6 +404,29 @@ def run_grid_cells(
 
     pending = [i for i in range(total) if i not in done]
     if not pending:
+        return results
+
+    if fabric is not None:
+        from repro.fabric import run_fabric_cells, status_path_for
+
+        def on_fabric_result(index: int, key: str, summary: Any) -> None:
+            nonlocal completed
+            results[index] = summary
+            if ckpt is not None:
+                ckpt.append(index, key, summary)
+            if progress is not None:
+                progress(completed, total, summary)
+            completed += 1
+
+        run_fabric_cells(
+            [(i, keys[i], specs[i].to_dict()) for i in pending],
+            fabric=fabric,
+            runner="summary",
+            on_result=on_fabric_result,
+            status_path=(
+                status_path_for(ckpt.path) if ckpt is not None else None
+            ),
+        )
         return results
 
     def on_result(pending_i: int, summary: dict) -> None:

@@ -404,6 +404,7 @@ def run_grid(
     jobs: int = 1,
     checkpoint: Any = None,
     resume: bool = False,
+    fabric: Any = None,
 ) -> list[dict]:
     """Run every cell of a sweep; returns one summary dict per cell.
 
@@ -415,6 +416,11 @@ def run_grid(
     - ``checkpoint`` — JSONL path appended to as each cell finishes, so
       an interrupted sweep keeps its partial results.
     - ``resume`` — skip cells already recorded in the checkpoint.
+    - ``fabric`` — run pending cells through the distributed sweep
+      fabric (:mod:`repro.fabric`) instead of the local pool: a
+      coordinator leases cells over a socket to local or remote
+      ``sweep-worker`` processes (``"local:4"``, a port to serve on, or
+      an options dict). Summaries stay bit-identical to a serial run.
 
     ``progress``, if given, is called as ``progress(k, total, summary)``
     as each cell completes (the CLI uses it to print one line per run).
@@ -423,5 +429,5 @@ def run_grid(
 
     return run_grid_cells(
         grid, progress=progress, jobs=jobs, checkpoint=checkpoint,
-        resume=resume,
+        resume=resume, fabric=fabric,
     )

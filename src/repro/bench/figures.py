@@ -52,6 +52,7 @@ __all__ = [
     "ablation_history_depth",
     "ablation_policies",
     "set_jobs",
+    "set_fabric",
     "set_checkpoint",
     "shutdown_pool",
     "clear_cache",
@@ -76,6 +77,9 @@ _POOL: ProcessPoolExecutor | None = None
 #: restore by canonical spec key, so any driver batch reuses them.
 _CHECKPOINT: str | None = None
 _RESUME = True
+#: Distributed sweep fabric routing (``set_fabric``); ``None`` keeps the
+#: in-process / pool path.
+_FABRIC = None
 
 
 def set_jobs(jobs: int) -> None:
@@ -122,6 +126,21 @@ def set_checkpoint(path: str | None, resume: bool = True) -> None:
     _RESUME = resume
 
 
+def set_fabric(fabric) -> None:
+    """Route subsequent figure cells through the distributed sweep fabric.
+
+    Any :func:`repro.fabric.parse_fabric` spelling works —
+    ``"local:4"`` spawns four local worker subprocesses per batch, a
+    ``"host:port"`` endpoint serves cells to externally-joined
+    ``python -m repro sweep-worker`` processes. Figure drivers are
+    unchanged: cells stream back as ``ExperimentResult`` rows exactly as
+    from the pool, and compose with ``set_checkpoint`` resume. ``None``
+    returns to the ``set_jobs`` pool path.
+    """
+    global _FABRIC
+    _FABRIC = fabric
+
+
 def shutdown_pool() -> None:
     """Release the persistent worker pool (no-op when none is running)."""
     global _POOL
@@ -158,6 +177,7 @@ def _run_specs(api_specs) -> list[ExperimentResult]:
         results = run_bench_cells(
             list(todo.values()), jobs=_JOBS, executor=_pool(),
             checkpoint=_CHECKPOINT, resume=_RESUME and _CHECKPOINT is not None,
+            fabric=_FABRIC,
         )
         if _CHECKPOINT is not None:
             # A fresh (resume=False) stream truncates once, then the

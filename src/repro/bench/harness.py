@@ -307,6 +307,7 @@ def run_bench_cells(
     checkpoint=None,
     resume: bool = False,
     progress=None,
+    fabric=None,
 ) -> list[ExperimentResult]:
     """Run bench cells with JSONL checkpoint/resume; results in input order.
 
@@ -322,6 +323,12 @@ def run_bench_cells(
 
     ``progress(k, total, result)`` fires per completed cell (restored
     rows first), like ``run_grid``'s hook.
+
+    ``fabric`` (any :func:`repro.fabric.parse_fabric` spelling) executes
+    pending cells on the distributed sweep fabric with ``runner="bench"``
+    — workers ship ``ExperimentResult.to_dict()`` payloads back over the
+    wire, so figure sweeps ride coordinator/worker execution unchanged.
+    ``jobs``/``executor`` are ignored in fabric mode.
     """
     from repro.api.parallel import SweepCheckpoint, run_cells, run_key
     from repro.api.spec import ExperimentSpec as _ApiSpec
@@ -336,6 +343,7 @@ def run_bench_cells(
     results: list[ExperimentResult | None] = [None] * total
     completed = 0
     if resume:
+        ckpt.seal()  # a crashed writer's torn tail must not eat appends
         by_key = {
             key: summary
             for _index, key, summary in ckpt.entries()
@@ -351,7 +359,28 @@ def run_bench_cells(
         ckpt.reset()
 
     pending = [i for i in range(total) if results[i] is None]
-    if pending:
+    if pending and fabric is not None:
+        from repro.fabric import run_fabric_cells, status_path_for
+
+        def on_fabric_result(index: int, key: str, wire: dict) -> None:
+            nonlocal completed
+            results[index] = ExperimentResult.from_dict(wire)
+            if ckpt is not None:
+                ckpt.append(index, key, wire)
+            if progress is not None:
+                progress(completed, total, results[index])
+            completed += 1
+
+        run_fabric_cells(
+            [(i, keys[i], specs[i].to_dict()) for i in pending],
+            fabric=fabric,
+            runner="bench",
+            on_result=on_fabric_result,
+            status_path=(
+                status_path_for(ckpt.path) if ckpt is not None else None
+            ),
+        )
+    elif pending:
         def on_result(pending_i: int, result: ExperimentResult) -> None:
             nonlocal completed
             index = pending[pending_i]

@@ -73,3 +73,11 @@ class ApiError(ReproError):
 
 class DataError(ReproError):
     """Errors raised by dataset generation or I/O."""
+
+
+class FabricError(ReproError):
+    """Errors raised by the distributed sweep fabric (coordinator/worker)."""
+
+
+class ProtocolError(FabricError):
+    """A malformed, truncated, or oversized fabric wire message."""

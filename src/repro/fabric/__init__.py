@@ -1,0 +1,56 @@
+"""Distributed sweep fabric: a coordinator/worker service for grid cells.
+
+The sweep engine's third execution tier. ``run_grid(jobs=N)`` fans cells
+over a local process pool; ``run_grid(fabric=...)`` serves the same
+cells over a socket so *any* number of workers — local subprocesses,
+other hosts — can pull leases, execute through the identical per-cell
+path, and stream summaries back into the same
+:class:`~repro.api.parallel.SweepCheckpoint` JSONL. Leases carry
+deadlines (dead or straggling workers are stolen from), results are
+deduped on canonical spec keys (at-most-once accounting), and workers
+may join or leave mid-sweep (elastic membership).
+
+Entry points::
+
+    python -m repro sweep grid.json --serve 2859      # coordinator
+    python -m repro sweep-worker otherhost:2859       # on each worker
+    python -m repro sweep-status grid.ckpt.jsonl      # live progress
+
+or in code: ``run_grid(grid, fabric="local:4")``.
+"""
+
+from repro.fabric.coordinator import (
+    FabricOptions,
+    SweepCoordinator,
+    parse_fabric,
+    run_fabric_cells,
+)
+from repro.fabric.leases import FabricCell, Lease, LeaseTable, WorkerInfo
+from repro.fabric.protocol import (
+    format_endpoint,
+    parse_endpoint,
+    recv_msg,
+    send_msg,
+)
+from repro.fabric.status import format_status, read_status, status_path_for
+from repro.fabric.worker import SweepWorker, spawn_local_workers
+
+__all__ = [
+    "SweepCoordinator",
+    "SweepWorker",
+    "LeaseTable",
+    "FabricCell",
+    "Lease",
+    "WorkerInfo",
+    "FabricOptions",
+    "parse_fabric",
+    "run_fabric_cells",
+    "spawn_local_workers",
+    "send_msg",
+    "recv_msg",
+    "parse_endpoint",
+    "format_endpoint",
+    "read_status",
+    "format_status",
+    "status_path_for",
+]

@@ -1,0 +1,480 @@
+"""The sweep coordinator: cell leases over a socket, results deduped in.
+
+One :class:`SweepCoordinator` owns one sweep. It binds a TCP endpoint,
+hands out cell leases to any worker that connects (``python -m repro
+sweep-worker <host:port>``), collects streamed results into the caller's
+``on_result`` hook (the checkpoint appender), and enforces the lease
+table's at-most-once / work-stealing semantics. The coordinator never
+executes cells itself — it is pure control plane, cheap enough to run in
+a thread next to the driver that called :func:`repro.api.run_grid`.
+
+Design notes:
+
+- **Threaded, lock-per-table.** One accept thread plus one thread per
+  connection; every lease-table mutation happens under a single lock.
+  Sweep control traffic is a few messages per *cell*, so contention is
+  negligible next to cell execution time.
+- **Failure policy.** A cell error is retried on re-issue (a different
+  worker may succeed — transient env trouble); when the cell's attempt
+  budget is exhausted the sweep aborts: waiting raises, workers get
+  ``abort`` on their next request. Completed cells are already in the
+  checkpoint either way — nothing finished is re-paid.
+- **Status sidecar.** With ``status_path`` set, the live lease-table
+  snapshot is written atomically every tick; ``python -m repro
+  sweep-status`` renders it during *and after* the run.
+"""
+
+from __future__ import annotations
+
+import os
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import FabricError, ProtocolError, ReproError
+from repro.fabric.leases import LeaseTable
+from repro.fabric.protocol import (
+    format_endpoint,
+    parse_endpoint,
+    recv_msg,
+    send_msg,
+)
+
+__all__ = ["SweepCoordinator", "FabricOptions", "parse_fabric",
+           "run_fabric_cells"]
+
+#: How often the accept loop ticks: lease expiry sweep + status write.
+_TICK_S = 0.25
+#: What workers are told to sleep before re-requesting when all cells
+#: are leased out.
+_RETRY_S = 0.5
+
+
+class SweepCoordinator:
+    """Serve one sweep's cells to fabric workers; collect results once."""
+
+    def __init__(
+        self,
+        cells: Sequence[tuple[int, str, Mapping[str, Any]]],
+        *,
+        runner: str = "summary",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_ttl: float = 30.0,
+        lease_size: int = 8,
+        max_attempts: int = 3,
+        on_result: Callable[[int, str, Any], None] | None = None,
+        status_path: "str | os.PathLike | None" = None,
+    ) -> None:
+        from repro.api.parallel import group_key
+        from repro.api.spec import ExperimentSpec
+
+        table_cells = []
+        for index, key, spec in cells:
+            spec = dict(spec)
+            table_cells.append(
+                (index, key, spec, group_key(ExperimentSpec.coerce(spec)))
+            )
+        self.runner = runner
+        self.table = LeaseTable(
+            table_cells,
+            lease_ttl=lease_ttl,
+            lease_size=lease_size,
+            max_attempts=max_attempts,
+        )
+        self.on_result = on_result
+        self.status_path = Path(status_path) if status_path else None
+        self.results: dict[int, Any] = {}
+        self._host, self._port = host, port
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self._stopping = threading.Event()
+        self._error: ReproError | None = None
+        self._started_at: float | None = None
+        self._server: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
+        if not table_cells:
+            self._finished.set()
+
+    # -- lifecycle ---------------------------------------------------------------------
+    @property
+    def endpoint(self) -> str:
+        """``host:port`` actually bound (resolves ``port=0`` ephemerals)."""
+        if self._server is None:
+            raise FabricError("coordinator not started")
+        return format_endpoint(self._host, self._server.getsockname()[1])
+
+    def start(self) -> "SweepCoordinator":
+        if self._server is not None:
+            raise FabricError("coordinator already started")
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            server.bind((self._host, self._port))
+        except OSError as exc:
+            server.close()
+            raise FabricError(
+                f"cannot bind fabric coordinator on "
+                f"{format_endpoint(self._host, self._port)}: {exc}"
+            ) from exc
+        server.listen(64)
+        server.settimeout(_TICK_S)
+        self._server = server
+        self._started_at = time.monotonic()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fabric-coordinator", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving; idempotent. Waiters see whatever state stands."""
+        self._stopping.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        for thread in self._conn_threads:
+            thread.join(timeout=2.0)
+        self._conn_threads.clear()
+        self._write_status(final=True)
+
+    def __enter__(self) -> "SweepCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def wait(self, timeout: float | None = None) -> dict[int, Any]:
+        """Block until every cell is recorded; ``{index: summary}``.
+
+        Raises the sweep's failure (a cell out of retry budget) or
+        :class:`FabricError` on timeout — partial results remain
+        available on :attr:`results` and in the checkpoint either way.
+        """
+        if not self._finished.wait(timeout):
+            raise FabricError(
+                f"fabric sweep did not finish within {timeout}s "
+                f"({self.describe()})"
+            )
+        if self._error is not None:
+            raise self._error
+        return dict(self.results)
+
+    def describe(self) -> str:
+        with self._lock:
+            counts = self.table.status_counts()
+        return (
+            f"{counts['done']} done / {counts['leased']} in flight / "
+            f"{counts['pending']} pending / {counts['failed']} failed"
+        )
+
+    # -- socket plumbing ---------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            self._tick()
+            try:
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listening socket closed under us
+            conn.settimeout(60.0)
+            with self._lock:
+                self._conns.add(conn)
+            thread = threading.Thread(
+                target=self._serve_conn, args=(conn,),
+                name="fabric-conn", daemon=True,
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _tick(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            self.table.expire(now)
+        self._write_status()
+
+    def _serve_conn(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    message = recv_msg(conn)
+                except (ProtocolError, OSError):
+                    break  # worker died mid-frame; leases expire on TTL
+                if message is None or message["type"] == "bye":
+                    break
+                try:
+                    reply = self._dispatch(message)
+                except FabricError as exc:
+                    reply = {"type": "error", "message": str(exc)}
+                try:
+                    send_msg(conn, reply)
+                except OSError:
+                    break
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- message handling --------------------------------------------------------------
+    def _dispatch(self, message: dict) -> dict:
+        mtype = message["type"]
+        worker = str(message.get("worker", "anonymous"))
+        now = time.monotonic()
+        if mtype == "hello":
+            with self._lock:
+                self.table.touch(worker, now)
+            return {
+                "type": "welcome",
+                "runner": self.runner,
+                "total": len(self.table.cells),
+            }
+        if mtype == "heartbeat":
+            with self._lock:
+                self.table.touch(worker, now)
+            return {"type": "ok"}
+        if mtype == "request":
+            return self._handle_request(worker, now)
+        if mtype == "result":
+            return self._handle_result(message, worker, now)
+        raise FabricError(f"unknown fabric message type {mtype!r}")
+
+    def _handle_request(self, worker: str, now: float) -> dict:
+        with self._lock:
+            if self._error is not None:
+                return {"type": "abort", "message": str(self._error)}
+            if self.table.done:
+                return {"type": "done"}
+            lease = self.table.acquire(worker, now)
+            if lease is None:
+                return {"type": "wait", "retry_s": _RETRY_S}
+            return {
+                "type": "lease",
+                "lease": lease.lease_id,
+                "runner": self.runner,
+                "deadline_s": self.table.lease_ttl,
+                "cells": [
+                    {
+                        "index": index,
+                        "key": self.table.cells[index].key,
+                        "spec": self.table.cells[index].spec,
+                    }
+                    for index in lease.indices
+                ],
+            }
+
+    def _handle_result(self, message: dict, worker: str, now: float) -> dict:
+        index = message.get("index")
+        if not isinstance(index, int):
+            raise FabricError("result message missing integer 'index'")
+        if message.get("error") is not None:
+            with self._lock:
+                verdict = self.table.fail(
+                    index, worker, str(message["error"]), now
+                )
+                if verdict == "fatal":
+                    cell = self.table.cells[index]
+                    self._error = FabricError(
+                        f"cell {index} failed {cell.attempts} time(s), "
+                        f"last on worker {worker!r}: {cell.error}"
+                    )
+                    self._finished.set()
+            return {"type": "ok", "status": verdict}
+        key = message.get("key")
+        if not isinstance(key, str):
+            raise FabricError("result message missing string 'key'")
+        with self._lock:
+            verdict = self.table.complete(index, key, worker, now)
+            if verdict == "recorded":
+                summary = message.get("summary")
+                self.results[index] = summary
+                if self.on_result is not None:
+                    self.on_result(index, key, summary)
+                if self.table.done:
+                    self._finished.set()
+        return {"type": "ok", "status": verdict}
+
+    # -- status sidecar ----------------------------------------------------------------
+    def _write_status(self, final: bool = False) -> None:
+        if self.status_path is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            snap = self.table.snapshot(now)
+        snap.update(
+            fabric="sweep",
+            runner=self.runner,
+            endpoint=(
+                self.endpoint if self._server is not None else None
+            ),
+            elapsed_s=round(
+                now - self._started_at, 2
+            ) if self._started_at is not None else 0.0,
+            finished=self._finished.is_set(),
+            error=str(self._error) if self._error is not None else None,
+            updated_unix=time.time(),
+        )
+        if final:
+            snap["finished"] = self._finished.is_set()
+        tmp = self.status_path.with_name(self.status_path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(snap, indent=2) + "\n")
+            os.replace(tmp, self.status_path)
+        except OSError:
+            pass  # a status view must never take the sweep down
+
+
+class FabricOptions:
+    """Parsed form of ``run_grid``'s ``fabric=`` argument."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        local_workers: int = 0,
+        lease_ttl: float = 30.0,
+        lease_size: int = 8,
+        max_attempts: int = 3,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.local_workers = int(local_workers)
+        self.lease_ttl = float(lease_ttl)
+        self.lease_size = int(lease_size)
+        self.max_attempts = int(max_attempts)
+
+
+def parse_fabric(fabric) -> FabricOptions:
+    """Interpret the user-facing ``fabric=`` spellings.
+
+    - ``2859`` / ``"host:2859"`` — serve on that endpoint and wait for
+      external ``sweep-worker`` processes (bare ports bind loopback;
+      bind ``"0.0.0.0:port"`` to accept remote workers),
+    - ``"local:N"`` — serve on an ephemeral loopback port and spawn
+      ``N`` local worker subprocesses for the sweep's duration,
+    - a dict — ``{"serve": port-or-endpoint, "local_workers": N,
+      "lease_ttl": s, "lease_size": n, "max_attempts": n}``, any subset.
+    """
+    if isinstance(fabric, FabricOptions):
+        return fabric
+    if isinstance(fabric, int):
+        host, port = parse_endpoint(fabric)
+        return FabricOptions(host=host, port=port)
+    if isinstance(fabric, str):
+        text = fabric.strip()
+        if text.startswith("local:"):
+            try:
+                n = int(text.split(":", 1)[1])
+            except ValueError:
+                raise FabricError(
+                    f"invalid fabric spec {fabric!r}; expected 'local:N'"
+                ) from None
+            if n <= 0:
+                raise FabricError("fabric 'local:N' needs N >= 1")
+            return FabricOptions(local_workers=n)
+        host, port = parse_endpoint(text)
+        return FabricOptions(host=host, port=port)
+    if isinstance(fabric, Mapping):
+        known = {
+            "serve", "local_workers", "lease_ttl", "lease_size",
+            "max_attempts",
+        }
+        unknown = set(fabric) - known
+        if unknown:
+            raise FabricError(
+                f"unknown fabric option(s) {sorted(unknown)}; "
+                f"valid: {sorted(known)}"
+            )
+        host, port = "127.0.0.1", 0
+        if fabric.get("serve") is not None:
+            host, port = parse_endpoint(fabric["serve"])
+        return FabricOptions(
+            host=host,
+            port=port,
+            local_workers=fabric.get("local_workers", 0) or 0,
+            lease_ttl=fabric.get("lease_ttl", 30.0),
+            lease_size=fabric.get("lease_size", 8),
+            max_attempts=fabric.get("max_attempts", 3),
+        )
+    raise FabricError(
+        f"cannot interpret fabric spec {fabric!r}; pass a port, "
+        "'host:port', 'local:N', or an options dict"
+    )
+
+
+def run_fabric_cells(
+    cells: Sequence[tuple[int, str, Mapping[str, Any]]],
+    *,
+    fabric,
+    runner: str = "summary",
+    on_result: Callable[[int, str, Any], None] | None = None,
+    status_path: "str | os.PathLike | None" = None,
+    timeout: float | None = None,
+    announce: Callable[[str], None] | None = None,
+) -> dict[int, Any]:
+    """Serve ``cells`` over the fabric until every one is recorded.
+
+    The blocking driver half of a fabric sweep: starts a coordinator,
+    optionally spawns local worker subprocesses (``fabric="local:N"``),
+    and returns ``{index: summary-dict}``. ``on_result(index, key,
+    summary)`` fires in completion order as results are *first* recorded
+    — duplicates never reach it.
+    """
+    from repro.fabric.worker import spawn_local_workers
+
+    options = parse_fabric(fabric)
+    coordinator = SweepCoordinator(
+        cells,
+        runner=runner,
+        host=options.host,
+        port=options.port,
+        lease_ttl=options.lease_ttl,
+        lease_size=options.lease_size,
+        max_attempts=options.max_attempts,
+        on_result=on_result,
+        status_path=status_path,
+    )
+    coordinator.start()
+    workers = []
+    try:
+        if announce is not None:
+            announce(coordinator.endpoint)
+        if options.local_workers:
+            workers = spawn_local_workers(
+                coordinator.endpoint, options.local_workers
+            )
+        return coordinator.wait(timeout)
+    finally:
+        coordinator.close()
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=5.0)
+            except Exception:
+                proc.kill()

@@ -1,0 +1,226 @@
+"""The sweep worker: pull cell leases, execute, stream results back.
+
+``python -m repro sweep-worker <host:port>`` runs one of these. A worker
+is stateless from the fabric's point of view — it joins whenever it
+starts, leaves whenever it dies, and the coordinator's lease deadlines
+cover both cases. Cells execute through exactly the same path as a
+process-pool worker: :func:`repro.api.parallel.resolve_runner` for the
+cell body and :func:`~repro.api.parallel.prepare_shared`'s one-slot
+cache for dataset/optimum reuse (leases are single-group batches, so the
+cache hits on every cell after a lease's first).
+
+Liveness: while a lease is executing, a background thread heartbeats the
+coordinator over short-lived side connections (no socket sharing with
+the result stream), pushing the lease deadline out. Kill the worker and
+the heartbeats stop; one lease TTL later its unfinished cells are stolen.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import FabricError, ProtocolError, ReproError
+from repro.fabric.protocol import parse_endpoint, recv_msg, send_msg
+
+__all__ = ["SweepWorker", "spawn_local_workers"]
+
+
+class SweepWorker:
+    """One fabric worker process (or thread, in tests)."""
+
+    def __init__(
+        self,
+        endpoint: str,
+        *,
+        name: str | None = None,
+        connect_retries: int = 20,
+        connect_retry_s: float = 0.25,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        self.host, self.port = parse_endpoint(endpoint)
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.connect_retries = connect_retries
+        self.connect_retry_s = connect_retry_s
+        self.log = log or (lambda line: None)
+        self.cells_done = 0
+        self.leases_taken = 0
+
+    # -- connections -------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        last: Exception | None = None
+        for _attempt in range(max(self.connect_retries, 1)):
+            try:
+                conn = socket.create_connection(
+                    (self.host, self.port), timeout=30.0
+                )
+                conn.settimeout(60.0)
+                return conn
+            except OSError as exc:
+                last = exc
+                time.sleep(self.connect_retry_s)
+        raise FabricError(
+            f"cannot reach coordinator at {self.host}:{self.port}: {last}"
+        )
+
+    def _heartbeat_loop(self, stop: threading.Event, interval: float) -> None:
+        """Prove liveness over throwaway connections until ``stop`` is set.
+
+        A separate socket per beat keeps the main request/result stream
+        strictly request-reply — no cross-thread frame interleaving.
+        """
+        while not stop.wait(interval):
+            try:
+                with socket.create_connection(
+                    (self.host, self.port), timeout=5.0
+                ) as conn:
+                    send_msg(
+                        conn, {"type": "heartbeat", "worker": self.name}
+                    )
+                    recv_msg(conn)
+            except (OSError, ProtocolError):
+                return  # coordinator gone; the main loop will notice
+
+    # -- cell execution ----------------------------------------------------------------
+    def _execute_cell(self, runner: str, cell: dict) -> dict:
+        """Run one cell; returns the ``result`` message to send."""
+        from repro.api.parallel import resolve_runner
+
+        base = {
+            "type": "result",
+            "worker": self.name,
+            "index": cell["index"],
+            "key": cell["key"],
+        }
+        try:
+            result = resolve_runner(runner)(cell["spec"])
+        except ReproError as exc:
+            return {**base, "error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            return {**base, "error": f"{type(exc).__name__}: {exc}"}
+        to_dict = getattr(result, "to_dict", None)
+        summary: Any = to_dict() if callable(to_dict) else result
+        return {**base, "summary": summary}
+
+    def _run_lease(self, conn: socket.socket, lease: dict) -> bool:
+        """Execute one lease; ``False`` when the coordinator aborted."""
+        self.leases_taken += 1
+        runner = lease.get("runner", "summary")
+        deadline_s = float(lease.get("deadline_s", 30.0))
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(stop, max(deadline_s / 3.0, 0.2)),
+            name=f"fabric-heartbeat-{self.name}",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            for cell in lease["cells"]:
+                message = self._execute_cell(runner, cell)
+                send_msg(conn, message)
+                ack = recv_msg(conn)
+                if ack is None or ack["type"] == "abort":
+                    return False
+                if ack["type"] == "error":
+                    raise FabricError(
+                        f"coordinator rejected result: {ack.get('message')}"
+                    )
+                status = ack.get("status")
+                if status == "recorded":
+                    self.cells_done += 1
+                self.log(
+                    f"[{self.name}] cell {cell['index']}: "
+                    f"{status or message.get('error', 'sent')}"
+                )
+        finally:
+            stop.set()
+            beat.join(timeout=2.0)
+        return True
+
+    # -- main loop ---------------------------------------------------------------------
+    def run(self) -> dict[str, int]:
+        """Work until the coordinator reports the sweep done (or gone).
+
+        Returns ``{"cells": completed, "leases": taken}``.
+        """
+        conn = self._connect()
+        try:
+            send_msg(conn, {"type": "hello", "worker": self.name})
+            welcome = recv_msg(conn)
+            if welcome is None or welcome["type"] != "welcome":
+                raise FabricError(
+                    f"coordinator handshake failed: {welcome!r}"
+                )
+            self.log(
+                f"[{self.name}] joined {self.host}:{self.port} "
+                f"({welcome['total']} cells, runner={welcome['runner']!r})"
+            )
+            while True:
+                send_msg(conn, {"type": "request", "worker": self.name})
+                reply = recv_msg(conn)
+                if reply is None:
+                    break  # coordinator closed on us
+                if reply["type"] == "lease":
+                    if not self._run_lease(conn, reply):
+                        break
+                elif reply["type"] == "wait":
+                    time.sleep(float(reply.get("retry_s", 0.5)))
+                elif reply["type"] in ("done", "abort"):
+                    break
+                else:
+                    raise FabricError(
+                        f"unexpected coordinator reply {reply['type']!r}"
+                    )
+            try:
+                send_msg(conn, {"type": "bye", "worker": self.name})
+            except OSError:
+                pass
+        except (OSError, ProtocolError):
+            pass  # coordinator went away; exit with what we have
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.log(
+            f"[{self.name}] leaving: {self.cells_done} cell(s) over "
+            f"{self.leases_taken} lease(s)"
+        )
+        return {"cells": self.cells_done, "leases": self.leases_taken}
+
+
+def spawn_local_workers(
+    endpoint: str, count: int, *, quiet: bool = True
+) -> list[subprocess.Popen]:
+    """Start ``count`` ``sweep-worker`` subprocesses against ``endpoint``.
+
+    The child environment gets this package's source root prepended to
+    ``PYTHONPATH`` so the workers import the same ``repro`` the caller
+    is running, however the caller arranged its path.
+    """
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+    sink = subprocess.DEVNULL if quiet else None
+    return [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep-worker", endpoint],
+            env=env,
+            stdout=sink,
+            stderr=sink,
+        )
+        for _ in range(count)
+    ]

@@ -85,7 +85,11 @@ class _ADMMBase(DistributedOptimizer):
                 f"got {type(self.problem).__name__}"
             )
         self.rho = rho
-        self._run_tag = id(self)
+        # Worker-env key tag for the local duals. Process-stable (not
+        # id()/counter-based): each run's backend owns fresh worker
+        # envs, so a fixed tag cannot collide across runs, and a
+        # restored run in a new process derives the same keys.
+        self._run_tag = "admm"
 
     def _worker_update_fn(self, z_br, worker_id: int, splits: list[int]):
         """One worker's x- and u-updates over its local partitions.

@@ -27,7 +27,6 @@ where ``A`` is the running average of stored per-sample gradients and
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Literal
 
 import numpy as np
@@ -50,8 +49,6 @@ __all__ = [
     "saga_partition_kernel",
     "initialize_history",
 ]
-
-_run_tags = itertools.count()
 
 BroadcastMode = Literal["history", "naive"]
 
@@ -100,11 +97,18 @@ class SagaState:
     the run's coordinator-owned store, the sync variant owns a private
     one):
 
-    - ``saga-<tag>`` — the broadcast model versions (``keep="all"``:
+    - ``saga`` — the broadcast model versions (``keep="all"``:
       workers re-reference any ``phi_s`` version by id),
-    - ``saga-<tag>/avg_hist`` — Algorithm 4 line 8's ``averageHistory``
+    - ``saga/avg_hist`` — Algorithm 4 line 8's ``averageHistory``
       (``keep="last:1"``: only the current running average matters),
-    - ``saga-<tag>/table`` — naive mode's ever-growing parameter table.
+    - ``saga/table`` — naive mode's ever-growing parameter table.
+
+    Channel names are *process-stable*: derived from the (fixed) default
+    or the caller's ``channel``, never from a per-process counter, so a
+    checkpointed ``run_state`` restores into a fresh process — e.g. a
+    fabric worker resuming another host's run — with channels that match
+    by name. Per-run isolation comes from each run owning its store (and
+    its backend's worker envs), not from unique tags.
     """
 
     def __init__(
@@ -120,9 +124,8 @@ class SagaState:
         self.ctx = ctx
         self.problem = problem
         self.mode = mode
-        self.run_tag = next(_run_tags)
         self.store = store if store is not None else HistoryStore(clock=ctx.now)
-        self.channel = channel or f"saga-{self.run_tag}"
+        self.channel = channel or "saga"
         self._avg = self.store.channel(f"{self.channel}/avg_hist", keep="last:1")
         self._avg.append(np.zeros(problem.dim))
         self.broadcaster = AsyncBroadcaster(ctx, store=self.store)
@@ -153,7 +156,7 @@ class SagaState:
         return _NaiveHandle(bc, version)
 
     def versions_key(self, block_id: int) -> tuple:
-        return ("saga_ver", self.run_tag, block_id)
+        return ("saga_ver", self.channel, block_id)
 
     def apply_update(
         self, w: np.ndarray, alpha: float, g_new: np.ndarray,

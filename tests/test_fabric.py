@@ -1,0 +1,291 @@
+"""Fabric units: wire protocol, lease table, fabric spec parsing, and
+the torn-write-hardened checkpoint the fabric streams into."""
+
+import json
+import socket
+
+import pytest
+
+from repro.api.parallel import SweepCheckpoint, group_key, run_key
+from repro.api.spec import ExperimentSpec
+from repro.errors import FabricError, ProtocolError
+from repro.fabric import (
+    FabricOptions,
+    LeaseTable,
+    parse_endpoint,
+    parse_fabric,
+    recv_msg,
+    send_msg,
+)
+
+# ---------------------------------------------------------------------------
+# Protocol framing
+# ---------------------------------------------------------------------------
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def test_protocol_roundtrip_preserves_json():
+    a, b = _pair()
+    message = {"type": "result", "index": 3, "summary": {"err": 0.25}}
+    send_msg(a, message)
+    assert recv_msg(b) == message
+    a.close(), b.close()
+
+
+def test_protocol_multiple_frames_in_order():
+    a, b = _pair()
+    for i in range(5):
+        send_msg(a, {"type": "t", "i": i})
+    assert [recv_msg(b)["i"] for _ in range(5)] == list(range(5))
+    a.close(), b.close()
+
+
+def test_protocol_clean_eof_returns_none():
+    a, b = _pair()
+    a.close()
+    assert recv_msg(b) is None
+    b.close()
+
+
+def test_protocol_eof_mid_frame_raises():
+    a, b = _pair()
+    payload = json.dumps({"type": "t", "pad": "x" * 100}).encode()
+    a.sendall(len(payload).to_bytes(4, "big") + payload[: len(payload) // 2])
+    a.close()
+    with pytest.raises(ProtocolError, match="mid-message"):
+        recv_msg(b)
+    b.close()
+
+
+def test_protocol_rejects_non_object_frames():
+    a, b = _pair()
+    payload = json.dumps([1, 2, 3]).encode()
+    a.sendall(len(payload).to_bytes(4, "big") + payload)
+    with pytest.raises(ProtocolError, match="'type'"):
+        recv_msg(b)
+    a.close(), b.close()
+
+
+def test_protocol_rejects_oversized_frames():
+    a, b = _pair()
+    a.sendall((1 << 30).to_bytes(4, "big"))
+    with pytest.raises(ProtocolError, match="exceeds limit"):
+        recv_msg(b)
+    a.close(), b.close()
+
+
+def test_parse_endpoint_forms():
+    assert parse_endpoint("otherhost:2859") == ("otherhost", 2859)
+    assert parse_endpoint(":2859") == ("127.0.0.1", 2859)
+    assert parse_endpoint("2859") == ("127.0.0.1", 2859)
+    assert parse_endpoint(2859) == ("127.0.0.1", 2859)
+    with pytest.raises(ProtocolError):
+        parse_endpoint("nope")
+    with pytest.raises(ProtocolError):
+        parse_endpoint("host:99999")
+
+
+def test_parse_fabric_forms():
+    assert parse_fabric(2859).port == 2859
+    assert parse_fabric("0.0.0.0:2859").host == "0.0.0.0"
+    local = parse_fabric("local:3")
+    assert (local.local_workers, local.port) == (3, 0)
+    opts = parse_fabric(
+        {"serve": 2859, "local_workers": 2, "lease_ttl": 5.0,
+         "lease_size": 2, "max_attempts": 1}
+    )
+    assert isinstance(opts, FabricOptions)
+    assert (opts.port, opts.local_workers, opts.lease_ttl) == (2859, 2, 5.0)
+    assert parse_fabric(opts) is opts
+    with pytest.raises(FabricError, match="local:N"):
+        parse_fabric("local:zero")
+    with pytest.raises(FabricError, match="unknown fabric option"):
+        parse_fabric({"port": 1})
+    with pytest.raises(FabricError, match="cannot interpret"):
+        parse_fabric(3.5)
+
+
+# ---------------------------------------------------------------------------
+# Lease table: leasing, stealing, at-most-once, membership
+# ---------------------------------------------------------------------------
+
+def _cells(n=6, groups=2):
+    """n cells over `groups` groups (distinct seeds)."""
+    out = []
+    for i in range(n):
+        spec = ExperimentSpec(seed=i % groups, max_updates=10)
+        out.append((i, run_key(spec), spec.to_dict(), group_key(spec)))
+    return out
+
+
+def test_lease_batches_never_span_groups():
+    table = LeaseTable(_cells(6, groups=2), lease_size=8)
+    lease = table.acquire("w1", now=0.0)
+    groups = {table.cells[i].group for i in lease.indices}
+    assert len(groups) == 1
+    assert len(lease.indices) == 3  # all of one group, not all 6 cells
+
+
+def test_lease_size_caps_the_batch():
+    table = LeaseTable(_cells(6, groups=1), lease_size=2)
+    lease = table.acquire("w1", now=0.0)
+    assert len(lease.indices) == 2
+    assert all(table.cells[i].status == "leased" for i in lease.indices)
+
+
+def test_expired_lease_is_stolen():
+    table = LeaseTable(_cells(4, groups=1), lease_ttl=10.0, lease_size=4)
+    first = table.acquire("w1", now=0.0)
+    assert table.acquire("w2", now=5.0) is None  # everything leased out
+    lease = table.acquire("w2", now=11.0)  # w1's deadline passed
+    assert lease is not None
+    assert sorted(lease.indices) == sorted(first.indices)
+    assert table.counters.reissued == 4
+    assert all(table.cells[i].attempts == 2 for i in lease.indices)
+
+
+def test_heartbeat_extends_lease_deadline():
+    table = LeaseTable(_cells(4, groups=1), lease_ttl=10.0, lease_size=4)
+    table.acquire("w1", now=0.0)
+    table.touch("w1", now=8.0)  # heartbeat pushes deadline to 18.0
+    assert table.acquire("w2", now=15.0) is None
+    assert table.counters.reissued == 0
+
+
+def test_at_most_once_first_result_wins():
+    cells = _cells(2, groups=1)
+    table = LeaseTable(cells, lease_ttl=5.0, lease_size=2)
+    lease = table.acquire("w1", now=0.0)
+    index = lease.indices[0]
+    key = cells[index][1]
+    table.acquire("w2", now=6.0)  # steal after expiry
+    # The stolen copy lands first; the original straggler is a duplicate.
+    assert table.complete(index, key, "w2", now=7.0) == "recorded"
+    assert table.complete(index, key, "w1", now=8.0) == "duplicate"
+    assert table.counters.duplicates == 1
+    assert table.cells[index].worker == "w2"
+    assert table.workers["w1"].cells_done == 0
+
+
+def test_result_key_mismatch_raises():
+    cells = _cells(2, groups=1)
+    table = LeaseTable(cells, lease_size=2)
+    lease = table.acquire("w1", now=0.0)
+    with pytest.raises(FabricError, match="key mismatch"):
+        table.complete(lease.indices[0], "not-the-key", "w1", now=1.0)
+
+
+def test_failed_cell_retries_then_goes_fatal():
+    cells = _cells(1, groups=1)
+    table = LeaseTable(cells, max_attempts=2, lease_size=1)
+    lease = table.acquire("w1", now=0.0)
+    index = lease.indices[0]
+    assert table.fail(index, "w1", "boom", now=1.0) == "retry"
+    assert table.cells[index].status == "pending"
+    lease = table.acquire("w2", now=2.0)
+    assert table.fail(index, "w2", "boom again", now=3.0) == "fatal"
+    assert table.cells[index].status == "failed"
+    assert table.cells[index].error == "boom again"
+    assert not table.done
+
+
+def test_membership_is_elastic():
+    table = LeaseTable(_cells(4, groups=2), lease_ttl=5.0, lease_size=2)
+    table.acquire("w1", now=0.0)
+    table.acquire("w2", now=0.0)  # joins mid-sweep
+    assert set(table.workers) == {"w1", "w2"}
+    # w1 dies; its cells flow to w3, a worker that joins even later.
+    lease = table.acquire("w3", now=6.0)
+    assert lease is not None
+    snap = table.snapshot(now=6.0)
+    assert set(snap["workers"]) == {"w1", "w2", "w3"}
+    assert snap["reissued"] >= 2
+
+
+def test_snapshot_counts_and_eta():
+    cells = _cells(4, groups=1)
+    table = LeaseTable(cells, lease_size=2)
+    lease = table.acquire("w1", now=0.0)
+    for index in list(lease.indices):  # complete() edits the lease
+        table.complete(index, cells[index][1], "w1", now=2.0)
+    snap = table.snapshot(now=2.0)
+    assert (snap["total"], snap["done"], snap["pending"]) == (4, 2, 2)
+    assert snap["cells_per_s"] == pytest.approx(1.0, rel=0.01)
+    assert snap["eta_s"] == pytest.approx(2.0, rel=0.05)
+    assert not table.done
+    table.acquire("w1", now=2.0)
+    for index in range(4):
+        table.complete(index, cells[index][1], "w1", now=3.0)
+    assert table.done
+
+
+def test_table_rejects_bad_parameters():
+    with pytest.raises(FabricError):
+        LeaseTable([], lease_ttl=0)
+    with pytest.raises(FabricError):
+        LeaseTable([], lease_size=0)
+    with pytest.raises(FabricError):
+        LeaseTable([], max_attempts=0)
+    with pytest.raises(FabricError, match="duplicate cell index"):
+        LeaseTable(_cells(2, groups=1) + _cells(1, groups=1))
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint torn-write hardening (the fabric's durability contract)
+# ---------------------------------------------------------------------------
+
+def test_append_writes_whole_lines_atomically(tmp_path):
+    path = tmp_path / "c.jsonl"
+    ckpt = SweepCheckpoint(path)
+    # Two handles interleaving appends (two coordinators / a worker and
+    # a driver) — O_APPEND means whole lines, never interleaved bytes.
+    other = SweepCheckpoint(path)
+    for i in range(10):
+        (ckpt if i % 2 else other).append(i, f"k{i}", {"i": i})
+    entries = ckpt.entries()
+    assert [index for index, _k, _s in entries] == list(range(10))
+
+
+def test_torn_trailing_line_is_skipped_on_resume(tmp_path):
+    path = tmp_path / "c.jsonl"
+    ckpt = SweepCheckpoint(path)
+    ckpt.append(0, "k0", {"ok": True})
+    ckpt.append(1, "k1", {"ok": True})
+    # A writer killed mid-write leaves a dangling, newline-less tail.
+    with path.open("a") as fh:
+        fh.write('{"index": 2, "key": "k2", "summ')
+    entries = ckpt.entries()
+    assert [index for index, _k, _s in entries] == [0, 1]
+    assert ckpt.load() == {0: ("k0", {"ok": True}), 1: ("k1", {"ok": True})}
+
+
+def test_torn_interior_line_is_skipped(tmp_path):
+    path = tmp_path / "c.jsonl"
+    ckpt = SweepCheckpoint(path)
+    ckpt.append(0, "k0", {"ok": True})
+    with path.open("a") as fh:
+        fh.write('{"index": 1, "key": truncated garbage\n')
+        fh.write("\xff\xfe not utf8 either\n")
+    ckpt.append(2, "k2", {"ok": True})
+    assert [index for index, _k, _s in ckpt.entries()] == [0, 2]
+
+
+def test_seal_isolates_torn_tail_before_appends_resume(tmp_path):
+    """A crashed writer's torn tail must not eat the next append: resume
+    seals the fragment onto its own (skipped) line first."""
+    path = tmp_path / "c.jsonl"
+    ckpt = SweepCheckpoint(path)
+    ckpt.append(0, "k0", {"ok": True})
+    with path.open("a") as fh:
+        fh.write('{"index": 1, "key": "k1", "summ')  # torn, no newline
+    ckpt.seal()
+    ckpt.append(2, "k2", {"ok": True})
+    assert [index for index, _k, _s in ckpt.entries()] == [0, 2]
+    ckpt.seal()  # idempotent on a clean file
+    assert [index for index, _k, _s in ckpt.entries()] == [0, 2]
+    assert SweepCheckpoint(tmp_path / "missing.jsonl").seal() is None

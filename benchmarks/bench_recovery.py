@@ -1,0 +1,125 @@
+"""Snapshot overhead and crash-recovery payoff for single runs.
+
+Times the same simulated ASGD run with mid-run snapshots off, every 100
+updates, and every 10 updates (updates/sec at each cadence is the
+headline: how much durability costs), then measures the recovery path —
+restoring from the half-way snapshot and finishing vs re-running the
+whole budget from scratch — and writes a ``BENCH_recovery.json`` record
+so the overhead trajectory accumulates across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py --updates 2000
+
+Parity is part of the record: the resumed run must be deterministic
+(two restores from the same snapshot file are bit-identical) and must
+finish the full update budget; a violation exits nonzero so CI fails
+loudly instead of archiving a lie.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import run_experiment  # noqa: E402
+
+BASE = {
+    "dataset": "tiny_dense",
+    "algorithm": "asgd",
+    "policy": "sample:0.75",
+    "num_workers": 4,
+    "seed": 3,
+    "delay": "cds:0.6",
+}
+
+
+def _timed(spec: dict) -> tuple[float, "object"]:
+    t0 = time.perf_counter()
+    result = run_experiment(spec)
+    return time.perf_counter() - t0, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--updates", type=int, default=2000,
+                        help="update budget per run (default 2000)")
+    parser.add_argument("--cadences", type=int, nargs="+",
+                        default=[0, 100, 10],
+                        help="snapshot_every values; 0 = off "
+                             "(default 0 100 10)")
+    parser.add_argument("--out", default="BENCH_recovery.json",
+                        help="where to write the record")
+    args = parser.parse_args(argv)
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench_recovery_"))
+    spec = {**BASE, "max_updates": args.updates}
+
+    base_s = None
+    cadences = []
+    for every in args.cadences:
+        cell = dict(spec)
+        if every > 0:
+            cell["snapshot_every"] = every
+            cell["snapshot_path"] = str(tmp / f"every{every}.snap.json")
+        elapsed, result = _timed(cell)
+        written = result.extras.get("snapshots_written", 0)
+        if every == 0:
+            base_s = elapsed
+        cadences.append({
+            "snapshot_every": every,
+            "elapsed_s": round(elapsed, 4),
+            "updates_per_s": round(args.updates / max(elapsed, 1e-9), 1),
+            "snapshots_written": written,
+            "overhead_pct": (
+                round(100.0 * (elapsed - base_s) / max(base_s, 1e-9), 1)
+                if base_s is not None and every != 0 else 0.0
+            ),
+        })
+
+    # Recovery: snapshot at the halfway mark, then finish from disk.
+    half = args.updates // 2
+    snap = tmp / "recovery.snap.json"
+    run_experiment({**spec, "max_updates": half,
+                    "snapshot_every": half, "snapshot_path": str(snap)})
+    resume_spec = {**spec, "restore_from": str(snap)}
+    resume_s, resumed = _timed(resume_spec)
+    rerun_s, _ = _timed(spec)
+    _, resumed_again = _timed(resume_spec)
+
+    parity = (
+        resumed.updates == args.updates
+        and resumed_again.updates == args.updates
+        and np.array_equal(resumed.w, resumed_again.w)
+    )
+
+    record = {
+        "bench": "recovery",
+        "updates": args.updates,
+        "spec": BASE,
+        "cadences": cadences,
+        "recovery": {
+            "snapshot_at": half,
+            "resume_s": round(resume_s, 4),
+            "rerun_s": round(rerun_s, 4),
+            "resume_speedup": round(rerun_s / max(resume_s, 1e-9), 3),
+        },
+        "parity": parity,
+    }
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    if not parity:
+        print("FAIL: resumed run is not deterministic or fell short of "
+              "the update budget", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

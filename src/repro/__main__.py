@@ -34,7 +34,7 @@ import os
 import sys
 from pathlib import Path
 
-from repro.errors import ReproError
+from repro.errors import FabricDrained, ReproError
 
 __all__ = ["main"]
 
@@ -86,13 +86,30 @@ def _print_summary(summary: dict, prefix: str = "") -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api.runner import prepare_experiment, summarize
 
-    prep = prepare_experiment(_load_json(args.spec))
+    data = _load_json(args.spec)
+    # Crash-safety flags override (or add to) the spec file, so the same
+    # spec can be launched with snapshots and relaunched with --restore.
+    if args.snapshot is not None:
+        data["snapshot_path"] = args.snapshot
+        data.setdefault("snapshot_every", 100)
+    if args.snapshot_every is not None:
+        data["snapshot_every"] = args.snapshot_every
+    if args.restore is not None:
+        data["restore_from"] = args.restore
+    prep = prepare_experiment(data)
     spec = prep.spec
     print(
         f"running {spec.algorithm} on {spec.dataset} "
         f"(P={spec.num_workers}, delay={spec.delay!r}, "
         f"policy={spec.effective_policy!r}, seed={spec.seed})"
     )
+    if spec.restore_from:
+        print(f"restoring from snapshot {spec.restore_from}")
+    if spec.snapshot_every:
+        print(
+            f"snapshotting to {spec.snapshot_path} every "
+            f"{spec.snapshot_every} update(s)"
+        )
     summary = summarize(prep, prep.execute())
     _print_summary(summary)
     for key, value in sorted(summary["extras"].items()):
@@ -121,6 +138,10 @@ def _fabric_from_args(args: argparse.Namespace):
             # hosts": bind every interface, not just loopback.
             endpoint = f"0.0.0.0:{endpoint}"
         fabric["serve"] = endpoint
+        # A served sweep is a long-lived process someone will eventually
+        # `kill`: drain on SIGTERM (exit 143, checkpoint flushed) so the
+        # sweep is resumable instead of torn mid-lease.
+        fabric["graceful_sigterm"] = True
     if args.local_workers:
         fabric["local_workers"] = args.local_workers
     if args.lease_ttl is not None:
@@ -194,6 +215,8 @@ def _cmd_sweep_worker(args: argparse.Namespace) -> int:
     worker = SweepWorker(
         args.endpoint,
         name=args.name,
+        chaos=args.chaos,
+        max_connect_attempts=args.max_connect_attempts,
         log=(lambda line: None) if args.quiet else print,
     )
     stats = worker.run()
@@ -278,6 +301,21 @@ def main(argv: list[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="run one experiment spec")
     p_run.add_argument("spec", help="path to an ExperimentSpec JSON ('-' for stdin)")
     p_run.add_argument("--out", help="write the JSON summary here")
+    p_run.add_argument(
+        "--snapshot", metavar="PATH",
+        help="atomically rewrite this file with the full run state every "
+             "--snapshot-every updates (async algorithms only)",
+    )
+    p_run.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="snapshot cadence in applied updates (default 100 when "
+             "--snapshot is set)",
+    )
+    p_run.add_argument(
+        "--restore", metavar="PATH",
+        help="resume from a run snapshot: the continued trajectory is "
+             "bit-identical to the uninterrupted run",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="run a parameter sweep (GridSpec)")
@@ -335,6 +373,16 @@ def main(argv: list[str] | None = None) -> int:
     p_worker.add_argument(
         "--quiet", action="store_true", help="suppress per-cell log lines"
     )
+    p_worker.add_argument(
+        "--chaos", metavar="SPEC",
+        help="perturb this worker's fabric traffic with a seeded fault "
+             "model, e.g. 'drop=0.1,dup=0.05,delay=20,sever=50,seed=3'",
+    )
+    p_worker.add_argument(
+        "--max-connect-attempts", type=int, default=12, metavar="N",
+        help="connection attempts (capped exponential backoff + jitter) "
+             "before giving up on the coordinator (default 12)",
+    )
     p_worker.set_defaults(fn=_cmd_sweep_worker)
 
     p_status = sub.add_parser(
@@ -356,6 +404,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except FabricDrained as exc:
+        # SIGTERM drain: partial progress is flushed to the checkpoint;
+        # exit the way a terminated process is expected to.
+        print(f"drained: {exc}", file=sys.stderr)
+        return 143  # 128 + SIGTERM
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -426,6 +426,14 @@ def run_grid_cells(
             status_path=(
                 status_path_for(ckpt.path) if ckpt is not None else None
             ),
+            # On a relaunch the coordinator re-reads (and seals) the
+            # checkpoint itself: any torn tail a killed predecessor left
+            # is isolated before new lines are appended, and late
+            # results from that predecessor's still-running workers are
+            # recognized instead of rejected.
+            resume_from=(
+                ckpt.path if (resume and ckpt is not None) else None
+            ),
         )
         return results
 

@@ -44,12 +44,14 @@ __all__ = [
     "POLICIES",
     "STEPS",
     "DELAY_MODELS",
+    "FAULT_PLANS",
     "register_optimizer",
     "register_problem",
     "register_barrier",
     "register_policy",
     "register_step",
     "register_delay_model",
+    "register_fault_plan",
 ]
 
 
@@ -191,6 +193,7 @@ BARRIERS = Registry("barrier")
 POLICIES = BARRIERS
 STEPS = Registry("step schedule")
 DELAY_MODELS = Registry("delay model")
+FAULT_PLANS = Registry("fault plan")
 
 register_optimizer = OPTIMIZERS.register
 register_problem = PROBLEMS.register
@@ -198,3 +201,4 @@ register_barrier = BARRIERS.register
 register_policy = POLICIES.register
 register_step = STEPS.register
 register_delay_model = DELAY_MODELS.register
+register_fault_plan = FAULT_PLANS.register

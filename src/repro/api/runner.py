@@ -30,6 +30,7 @@ from repro.api.registry import (
 )
 from repro.api.spec import ExperimentSpec, GridSpec
 from repro.cluster.cost import AnalyticCostModel
+from repro.cluster.faultplan import FaultPlan, resolve_fault_plan
 from repro.cluster.network import NetworkModel
 from repro.cluster.stragglers import DelayModel
 from repro.core.policies import SchedulingPolicy, resolve_policy
@@ -124,6 +125,10 @@ class PreparedExperiment:
     cost_model: AnalyticCostModel | None
     network: NetworkModel | None
     num_partitions: int
+    #: The resolved fault-injection plan (``None`` = no faults).
+    fault_plan: FaultPlan | None = None
+    #: A loaded run snapshot to resume from (spec ``restore_from``).
+    restore_state: dict | None = None
 
     def make_context(self) -> ClusterContext:
         """A fresh simulated cluster per the spec (use as context manager)."""
@@ -147,13 +152,20 @@ class PreparedExperiment:
         if self.policy is not None or getattr(cls, "is_async", False):
             kwargs["barrier"] = self.policy
         try:
-            return cls(
+            opt = cls(
                 ctx, points, self.problem, self.step, self.config, **kwargs
             )
         except TypeError as exc:
             raise ApiError(
                 f"bad params for optimizer {self.spec.algorithm!r}: {exc}"
             ) from exc
+        # The server loop picks these up from its host optimizer, so
+        # crash recovery and fault injection ride any construction path.
+        if self.fault_plan is not None:
+            opt.fault_plan = self.fault_plan
+        if self.restore_state is not None:
+            opt.restore_state = self.restore_state
+        return opt
 
     def run_in(self, ctx: ClusterContext) -> RunResult:
         """Partition the data and run the optimizer on an open context."""
@@ -242,6 +254,28 @@ def prepare_experiment(
             f"synchronous optimizer {spec.algorithm!r}; drop it or use an "
             "asynchronous variant"
         )
+    is_async = getattr(OPTIMIZERS.get(spec.algorithm), "is_async", False)
+    crash_fields = [
+        name for name, value in (
+            ("snapshot_every", spec.snapshot_every or None),
+            ("snapshot_path", spec.snapshot_path),
+            ("restore_from", spec.restore_from),
+            ("fault_plan", spec.fault_plan),
+        ) if value is not None
+    ]
+    if crash_fields and not is_async:
+        raise ApiError(
+            f"{crash_fields} only apply to the asynchronous server loop; "
+            f"optimizer {spec.algorithm!r} is synchronous"
+        )
+    fault_plan = resolve_fault_plan(
+        spec.fault_plan, num_workers=spec.num_workers, seed=spec.seed
+    )
+    restore_state = None
+    if spec.restore_from is not None:
+        from repro.core.snapshots import read_snapshot
+
+        restore_state = read_snapshot(spec.restore_from)
     delay = DELAY_MODELS.create(
         spec.delay,
         defaults={"num_workers": spec.num_workers, "seed": spec.seed},
@@ -259,6 +293,8 @@ def prepare_experiment(
             step_time=spec.step_time,
             pipeline_depth=spec.pipeline_depth,
             granularity=spec.granularity,
+            snapshot_every=spec.snapshot_every,
+            snapshot_path=spec.snapshot_path,
         )
     except (TypeError, ValueError) as exc:
         # OptimError (bad values) is already a ReproError; this catches
@@ -285,6 +321,8 @@ def prepare_experiment(
         cost_model=cost_model,
         network=network,
         num_partitions=spec.num_partitions or 2 * spec.num_workers,
+        fault_plan=fault_plan,
+        restore_state=restore_state,
     )
 
 

@@ -87,6 +87,18 @@ class ExperimentSpec:
     cost: dict | None = None
     #: ``NetworkModel`` kwargs, or ``None`` for the backend default.
     network: dict | None = None
+    #: Mid-run crash-recovery snapshots (async only): every N applied
+    #: updates the server loop atomically rewrites ``snapshot_path``
+    #: with its full run snapshot. 0 disables; set both together.
+    snapshot_every: int = 0
+    snapshot_path: str | None = None
+    #: Path to a run snapshot to resume from (``ServerLoop`` restores
+    #: model iterate, counters, and server state before dispatching).
+    restore_from: str | None = None
+    #: Fault-injection plan (async only): a registered name
+    #: (``"random_kill:2"``), the script grammar
+    #: (``"kill:w2@500ms,revive:w2@900ms"``), or a dict with ``name``.
+    fault_plan: Any = None
 
     # -- serialization -----------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -101,6 +113,15 @@ class ExperimentSpec:
             out["max_time_ms"] = None
         if out["policy"] is None:
             del out["policy"]
+        # Crash-safety fields follow the ``policy`` precedent: unset
+        # values are omitted entirely so canonical spec JSON — and every
+        # checkpoint run key minted before these fields existed — stays
+        # byte-stable.
+        if not out["snapshot_every"]:
+            del out["snapshot_every"]
+        for key in ("snapshot_path", "restore_from", "fault_plan"):
+            if out[key] is None:
+                del out[key]
         return out
 
     @classmethod

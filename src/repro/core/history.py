@@ -52,6 +52,8 @@ __all__ = [
     "HistoryChannel",
     "HistoryStore",
     "freeze_value",
+    "to_jsonable",
+    "from_jsonable",
 ]
 
 
@@ -352,8 +354,13 @@ class HistoryChannel:
         )
 
 
-def _to_jsonable(value: Any) -> Any:
-    """Encode a stored value for JSON checkpoints (arrays -> typed dicts)."""
+def to_jsonable(value: Any) -> Any:
+    """Encode a stored value for JSON checkpoints (arrays -> typed dicts).
+
+    The inverse of :func:`from_jsonable`; float64 arrays survive the
+    JSON round-trip bit-exact, which is what lets snapshot/restore be
+    byte-for-byte deterministic. Shared with ``core.snapshots``.
+    """
     if isinstance(value, np.ndarray):
         return {
             "__ndarray__": value.tolist(),
@@ -361,24 +368,30 @@ def _to_jsonable(value: Any) -> Any:
             "shape": list(value.shape),
         }
     if isinstance(value, (tuple, list)):
-        return [_to_jsonable(v) for v in value]
+        return [to_jsonable(v) for v in value]
     if isinstance(value, dict):
-        return {str(k): _to_jsonable(v) for k, v in value.items()}
+        return {str(k): to_jsonable(v) for k, v in value.items()}
     if isinstance(value, np.generic):
         return value.item()
     return value
 
 
-def _from_jsonable(value: Any) -> Any:
+def from_jsonable(value: Any) -> Any:
+    """Decode :func:`to_jsonable` output (lists come back as tuples)."""
     if isinstance(value, dict) and "__ndarray__" in value:
         return np.array(
             value["__ndarray__"], dtype=value.get("dtype", "float64")
         ).reshape(value.get("shape", -1))
     if isinstance(value, list):
-        return tuple(_from_jsonable(v) for v in value)
+        return tuple(from_jsonable(v) for v in value)
     if isinstance(value, dict):
-        return {k: _from_jsonable(v) for k, v in value.items()}
+        return {k: from_jsonable(v) for k, v in value.items()}
     return value
+
+
+# Channel code predates the public spelling; keep the private aliases.
+_to_jsonable = to_jsonable
+_from_jsonable = from_jsonable
 
 
 class HistoryStore:

@@ -23,21 +23,30 @@ __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
-    """Scriptable worker failures for tests and failure-injection benches."""
+    """Scriptable worker failures for tests and failure-injection benches.
+
+    ``injected`` records every applied action (``("kill"|"revive",
+    worker_id, time_ms)``) so fault-plan runs can report exactly what
+    happened and when — the reproducibility contract of a scripted
+    failure scenario.
+    """
 
     def __init__(self, ctx: "ClusterContext") -> None:
         self.ctx = ctx
         self.killed: set[int] = set()
+        self.injected: list[tuple[str, int, float]] = []
 
     def kill(self, worker_id: int) -> None:
         """Fail a worker immediately."""
         self.ctx.backend.kill_worker(worker_id)
         self.killed.add(worker_id)
+        self.injected.append(("kill", worker_id, self.ctx.now()))
 
     def revive(self, worker_id: int) -> None:
         """Bring a worker back (empty block store, like a fresh executor)."""
         self.ctx.backend.revive_worker(worker_id)
         self.killed.discard(worker_id)
+        self.injected.append(("revive", worker_id, self.ctx.now()))
 
     def kill_at(self, time_ms: float, worker_id: int) -> None:
         """Schedule a failure at a future virtual time (simulation only)."""

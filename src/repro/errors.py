@@ -67,6 +67,14 @@ class OptimError(ReproError):
     """Errors raised by optimization drivers."""
 
 
+class SnapshotError(OptimError):
+    """A mid-run snapshot could not be written, read, or applied."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan was malformed or impossible to schedule."""
+
+
 class ApiError(ReproError):
     """Errors raised by the declarative experiment API (registries, specs)."""
 
@@ -81,3 +89,11 @@ class FabricError(ReproError):
 
 class ProtocolError(FabricError):
     """A malformed, truncated, or oversized fabric wire message."""
+
+
+class FabricDrained(FabricError):
+    """A sweep coordinator drained gracefully (SIGTERM) before finishing.
+
+    Raised out of ``SweepCoordinator.wait`` so callers can distinguish
+    "stopped on request, resume later" from a real failure; the CLI maps
+    it to exit code 143 (128 + SIGTERM)."""

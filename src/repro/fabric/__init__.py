@@ -19,6 +19,7 @@ Entry points::
 or in code: ``run_grid(grid, fabric="local:4")``.
 """
 
+from repro.fabric.chaos import ChaosConfig, ChaosLink
 from repro.fabric.coordinator import (
     FabricOptions,
     SweepCoordinator,
@@ -27,6 +28,7 @@ from repro.fabric.coordinator import (
 )
 from repro.fabric.leases import FabricCell, Lease, LeaseTable, WorkerInfo
 from repro.fabric.protocol import (
+    clamp_retry_s,
     format_endpoint,
     parse_endpoint,
     recv_msg,
@@ -46,6 +48,9 @@ __all__ = [
     "parse_fabric",
     "run_fabric_cells",
     "spawn_local_workers",
+    "ChaosConfig",
+    "ChaosLink",
+    "clamp_retry_s",
     "send_msg",
     "recv_msg",
     "parse_endpoint",

@@ -1,0 +1,199 @@
+"""Chaos wrapper for the fabric wire: drop, delay, duplicate, sever.
+
+A :class:`ChaosLink` sits between a :class:`~repro.fabric.worker
+.SweepWorker` and its socket, perturbing the request/reply stream with a
+seeded RNG so fault-tolerance tests are *deterministic* chaos — the same
+``ChaosConfig`` against the same traffic misbehaves identically.
+
+Because the fabric protocol is strict request-reply, "losing" a frame
+cannot be modeled by silently not sending it — both sides would stall
+forever waiting on each other. A dropped frame is therefore rendered as
+its observable equivalent: the connection closes mid-exchange, exactly
+what a switch eating the packet looks like to the TCP layer one timeout
+later. The worker's reconnect loop then kicks in, which is the very
+machinery chaos mode exists to exercise:
+
+- ``drop`` — probability an exchange dies (connection closed, frame
+  never sent);
+- ``delay_ms`` — uniform 0..N ms stall before each send (tests lease
+  TTLs and heartbeat margins);
+- ``duplicate`` — probability a frame is transmitted twice (tests the
+  coordinator's at-most-once accounting);
+- ``sever_every`` — hard-close the connection every Nth frame (tests
+  session resumption at a deterministic cadence).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import FabricError, ProtocolError
+from repro.fabric.protocol import recv_msg, send_msg
+
+__all__ = ["ChaosConfig", "ChaosLink"]
+
+#: ``parse()`` shorthand -> field name.
+_ALIASES = {"dup": "duplicate", "delay": "delay_ms", "sever": "sever_every"}
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed form of the ``--chaos`` spec."""
+
+    drop: float = 0.0        #: P(exchange dies with the connection)
+    duplicate: float = 0.0   #: P(frame is sent twice)
+    delay_ms: float = 0.0    #: uniform 0..N ms stall before each send
+    sever_every: int = 0     #: hard-close every Nth frame (0 = never)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FabricError(
+                    f"chaos {name} must be a probability in [0, 1], got {p}"
+                )
+        if self.delay_ms < 0:
+            raise FabricError(
+                f"chaos delay_ms must be >= 0, got {self.delay_ms}"
+            )
+        if self.sever_every < 0:
+            raise FabricError(
+                f"chaos sever_every must be >= 0, got {self.sever_every}"
+            )
+
+    @property
+    def quiet(self) -> bool:
+        """True when this config perturbs nothing."""
+        return (
+            self.drop == 0.0
+            and self.duplicate == 0.0
+            and self.delay_ms == 0.0
+            and self.sever_every == 0
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosConfig":
+        """``"drop=0.1,dup=0.05,delay=20,sever=50,seed=3"`` -> config."""
+        kwargs: dict[str, Any] = {}
+        for part in str(text).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, value = part.partition("=")
+            if not sep:
+                raise FabricError(
+                    f"invalid chaos term {part!r}; expected name=value"
+                )
+            name = _ALIASES.get(name.strip(), name.strip())
+            if name not in ("drop", "duplicate", "delay_ms",
+                            "sever_every", "seed"):
+                raise FabricError(
+                    f"unknown chaos term {part!r}; valid: drop=, dup=, "
+                    "delay=, sever=, seed="
+                )
+            try:
+                kwargs[name] = (
+                    int(value) if name in ("sever_every", "seed")
+                    else float(value)
+                )
+            except ValueError:
+                raise FabricError(
+                    f"invalid chaos value in {part!r}"
+                ) from None
+        return cls(**kwargs)
+
+    @classmethod
+    def coerce(cls, value) -> "ChaosConfig | None":
+        if value is None:
+            return None
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, Mapping):
+            clean = {
+                _ALIASES.get(str(k), str(k)): v for k, v in value.items()
+            }
+            unknown = set(clean) - {
+                "drop", "duplicate", "delay_ms", "sever_every", "seed"
+            }
+            if unknown:
+                raise FabricError(
+                    f"unknown chaos option(s) {sorted(unknown)}"
+                )
+            return cls(**clean)
+        raise FabricError(
+            f"cannot interpret chaos spec {value!r}; pass a ChaosConfig, "
+            "a 'drop=0.1,sever=50' string, or a dict"
+        )
+
+
+def _close(conn: socket.socket) -> None:
+    try:
+        conn.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class ChaosLink:
+    """Route one worker's exchanges through a seeded fault model."""
+
+    def __init__(self, config: "ChaosConfig | str | Mapping | None") -> None:
+        cfg = ChaosConfig.coerce(config)
+        self.config = cfg if cfg is not None else ChaosConfig()
+        self.rng = random.Random(f"chaos:{self.config.seed}")
+        self.frames = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.severed = 0
+
+    def exchange(self, conn: socket.socket, message: dict) -> dict | None:
+        """One perturbed request/reply; raises :class:`ProtocolError`
+        (after closing ``conn``) when chaos kills the exchange."""
+        cfg = self.config
+        self.frames += 1
+        if cfg.sever_every and self.frames % cfg.sever_every == 0:
+            self.severed += 1
+            _close(conn)
+            raise ProtocolError(
+                f"chaos: severed connection at frame {self.frames}"
+            )
+        if cfg.drop and self.rng.random() < cfg.drop:
+            self.dropped += 1
+            _close(conn)
+            raise ProtocolError(f"chaos: dropped frame {self.frames}")
+        if cfg.delay_ms:
+            self.delayed += 1
+            time.sleep(self.rng.uniform(0.0, cfg.delay_ms) / 1000.0)
+        if cfg.duplicate and self.rng.random() < cfg.duplicate:
+            # The retransmit case: the same frame arrives twice. The
+            # first reply is the caller's; the duplicate's reply is
+            # drained so the stream stays in lockstep (the coordinator's
+            # at-most-once accounting is what makes this safe).
+            self.duplicated += 1
+            send_msg(conn, message)
+            reply = recv_msg(conn)
+            send_msg(conn, message)
+            recv_msg(conn)
+            return reply
+        send_msg(conn, message)
+        return recv_msg(conn)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "frames": self.frames,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "severed": self.severed,
+        }

@@ -34,9 +34,10 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.errors import FabricError, ProtocolError, ReproError
-from repro.fabric.leases import LeaseTable
+from repro.errors import FabricDrained, FabricError, ProtocolError, ReproError
+from repro.fabric.leases import DONE, LeaseTable
 from repro.fabric.protocol import (
+    clamp_retry_s,
     format_endpoint,
     parse_endpoint,
     recv_msg,
@@ -68,6 +69,7 @@ class SweepCoordinator:
         max_attempts: int = 3,
         on_result: Callable[[int, str, Any], None] | None = None,
         status_path: "str | os.PathLike | None" = None,
+        resume_from: "str | os.PathLike | None" = None,
     ) -> None:
         from repro.api.parallel import group_key
         from repro.api.spec import ExperimentSpec
@@ -98,8 +100,56 @@ class SweepCoordinator:
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: list[threading.Thread] = []
         self._conns: set[socket.socket] = set()
-        if not table_cells:
+        self._draining = False
+        #: Cells marked done from a previous incarnation's checkpoint.
+        self.recovered = 0
+        if resume_from is not None:
+            self._recover_from(resume_from)
+        if self.table.done:
             self._finished.set()
+
+    def _recover_from(self, checkpoint: "str | os.PathLike") -> None:
+        """Rebuild lease-table state from a previous incarnation.
+
+        Seals the checkpoint JSONL (isolating any torn tail the killed
+        coordinator left) and marks every recorded cell DONE so it is
+        never re-leased; cumulative counters come from the status
+        sidecar if one survives. ``on_result`` does *not* fire for
+        recovered cells — they are already persisted.
+        """
+        from repro.api.parallel import SweepCheckpoint
+        from repro.fabric.status import status_path_for
+
+        ckpt = SweepCheckpoint(checkpoint)
+        ckpt.seal()
+        for index, key, summary in ckpt.entries():
+            cell = self.table.cells.get(index)
+            if cell is None or cell.key != key:
+                continue  # a different sweep's line, or driver-filtered
+            if self.table.mark_done(index):
+                self.results[index] = summary
+                self.recovered += 1
+        try:
+            live = json.loads(
+                Path(status_path_for(checkpoint)).read_text()
+            )
+        except (OSError, json.JSONDecodeError):
+            live = None
+        if isinstance(live, dict):
+            self.table.restore_counters(live)
+
+    def drain(self) -> None:
+        """Graceful SIGTERM drain: stop issuing leases, let in-flight
+        results land (or their leases expire), then finish.
+
+        Idle workers get ``drain`` on their next request and exit;
+        results for already-issued leases are still accepted and flushed
+        to the checkpoint. Unless the last results complete the sweep,
+        :meth:`wait` raises :class:`FabricDrained` and the final status
+        sidecar records the drain — relaunch with ``--resume`` to
+        finish."""
+        with self._lock:
+            self._draining = True
 
     # -- lifecycle ---------------------------------------------------------------------
     @property
@@ -212,6 +262,22 @@ class SweepCoordinator:
         now = time.monotonic()
         with self._lock:
             self.table.expire(now)
+            if (
+                self._draining
+                and not self._finished.is_set()
+                and not self.table.leases
+            ):
+                # Every issued lease has completed or expired; nothing
+                # more can arrive. Finish — as a drain unless the last
+                # results happened to complete the sweep.
+                if not self.table.done and self._error is None:
+                    counts = self.table.status_counts()
+                    self._error = FabricDrained(
+                        f"sweep drained on SIGTERM: {counts[DONE]}/"
+                        f"{len(self.table.cells)} cell(s) recorded; "
+                        "relaunch with --resume to finish"
+                    )
+                self._finished.set()
         self._write_status()
 
     def _serve_conn(self, conn: socket.socket) -> None:
@@ -268,9 +334,15 @@ class SweepCoordinator:
                 return {"type": "abort", "message": str(self._error)}
             if self.table.done:
                 return {"type": "done"}
+            if self._draining:
+                return {
+                    "type": "drain",
+                    "message": "coordinator draining (SIGTERM); "
+                    "relaunch with --resume",
+                }
             lease = self.table.acquire(worker, now)
             if lease is None:
-                return {"type": "wait", "retry_s": _RETRY_S}
+                return {"type": "wait", "retry_s": clamp_retry_s(_RETRY_S)}
             return {
                 "type": "lease",
                 "lease": lease.lease_id,
@@ -327,6 +399,8 @@ class SweepCoordinator:
         snap.update(
             fabric="sweep",
             runner=self.runner,
+            draining=self._draining,
+            recovered=self.recovered,
             endpoint=(
                 self.endpoint if self._server is not None else None
             ),
@@ -359,6 +433,7 @@ class FabricOptions:
         lease_ttl: float = 30.0,
         lease_size: int = 8,
         max_attempts: int = 3,
+        graceful_sigterm: bool = False,
     ) -> None:
         self.host = host
         self.port = port
@@ -366,6 +441,9 @@ class FabricOptions:
         self.lease_ttl = float(lease_ttl)
         self.lease_size = int(lease_size)
         self.max_attempts = int(max_attempts)
+        #: Install a SIGTERM handler that drains the sweep instead of
+        #: dying mid-lease (``sweep --serve`` sets this).
+        self.graceful_sigterm = bool(graceful_sigterm)
 
 
 def parse_fabric(fabric) -> FabricOptions:
@@ -401,7 +479,7 @@ def parse_fabric(fabric) -> FabricOptions:
     if isinstance(fabric, Mapping):
         known = {
             "serve", "local_workers", "lease_ttl", "lease_size",
-            "max_attempts",
+            "max_attempts", "graceful_sigterm",
         }
         unknown = set(fabric) - known
         if unknown:
@@ -419,6 +497,7 @@ def parse_fabric(fabric) -> FabricOptions:
             lease_ttl=fabric.get("lease_ttl", 30.0),
             lease_size=fabric.get("lease_size", 8),
             max_attempts=fabric.get("max_attempts", 3),
+            graceful_sigterm=fabric.get("graceful_sigterm", False),
         )
     raise FabricError(
         f"cannot interpret fabric spec {fabric!r}; pass a port, "
@@ -433,6 +512,7 @@ def run_fabric_cells(
     runner: str = "summary",
     on_result: Callable[[int, str, Any], None] | None = None,
     status_path: "str | os.PathLike | None" = None,
+    resume_from: "str | os.PathLike | None" = None,
     timeout: float | None = None,
     announce: Callable[[str], None] | None = None,
 ) -> dict[int, Any]:
@@ -442,8 +522,14 @@ def run_fabric_cells(
     optionally spawns local worker subprocesses (``fabric="local:N"``),
     and returns ``{index: summary-dict}``. ``on_result(index, key,
     summary)`` fires in completion order as results are *first* recorded
-    — duplicates never reach it.
+    — duplicates never reach it. ``resume_from`` replays a previous
+    incarnation's checkpoint so recorded cells are never re-leased; with
+    ``graceful_sigterm`` set, SIGTERM drains the sweep (raising
+    :class:`FabricDrained` unless it happens to complete) instead of
+    killing it mid-lease.
     """
+    import signal
+
     from repro.fabric.worker import spawn_local_workers
 
     options = parse_fabric(fabric)
@@ -457,9 +543,20 @@ def run_fabric_cells(
         max_attempts=options.max_attempts,
         on_result=on_result,
         status_path=status_path,
+        resume_from=resume_from,
     )
     coordinator.start()
     workers = []
+    prev_handler = None
+    sigterm_installed = False
+    if options.graceful_sigterm:
+        try:
+            prev_handler = signal.signal(
+                signal.SIGTERM, lambda signum, frame: coordinator.drain()
+            )
+            sigterm_installed = True
+        except ValueError:
+            pass  # not the main thread; drain() is still callable directly
     try:
         if announce is not None:
             announce(coordinator.endpoint)
@@ -469,6 +566,8 @@ def run_fabric_cells(
             )
         return coordinator.wait(timeout)
     finally:
+        if sigterm_installed:
+            signal.signal(signal.SIGTERM, prev_handler)
         coordinator.close()
         for proc in workers:
             if proc.poll() is None:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 from repro.errors import FabricError
 
@@ -158,6 +158,29 @@ class LeaseTable:
                     self.counters.reissued += 1
         return expired
 
+    def _reclaim(self, worker: str) -> None:
+        """Re-pool every lease still booked to ``worker``.
+
+        The protocol is one-lease-at-a-time: a worker only requests
+        after finishing (or abandoning) its current lease. A request
+        from a worker that still holds one is therefore a confession —
+        the old lease belongs to a torn or duplicated session — and
+        waiting out its TTL would stall the sweep (the worker's own
+        polling keeps touching the deadline forward).
+        """
+        stale = [
+            lease for lease in self.leases.values()
+            if lease.worker == worker
+        ]
+        for lease in stale:
+            del self.leases[lease.lease_id]
+            for index in lease.indices:
+                cell = self.cells[index]
+                if cell.status == LEASED:
+                    cell.status = PENDING
+                    cell.worker = None
+                    self.counters.reissued += 1
+
     # -- leasing -----------------------------------------------------------------------
     def acquire(self, worker: str, now: float) -> Lease | None:
         """Lease the next batch of pending cells to ``worker``.
@@ -169,6 +192,7 @@ class LeaseTable:
         """
         self.expire(now)
         self.touch(worker, now)
+        self._reclaim(worker)
         batch: list[int] = []
         batch_group: tuple | None = None
         for index in self._issue_order:
@@ -246,6 +270,36 @@ class LeaseTable:
         cell.worker = None
         self.counters.retried += 1
         return "retry"
+
+    # -- recovery ----------------------------------------------------------------------
+    def mark_done(self, index: int, *, worker: str = "(recovered)") -> bool:
+        """Mark a cell DONE without a live worker — coordinator restart.
+
+        Used when a relaunched coordinator replays the sealed checkpoint
+        JSONL: cells already recorded on disk must never be re-leased.
+        Returns ``False`` (a no-op) when the cell is unknown — the
+        driver may have filtered done cells out of the table already —
+        or already DONE.
+        """
+        cell = self.cells.get(index)
+        if cell is None or cell.status == DONE:
+            return False
+        cell.status = DONE
+        cell.worker = worker
+        cell.error = None
+        self._drop_from_leases(index)
+        return True
+
+    def restore_counters(self, snap: "Mapping[str, Any]") -> None:
+        """Carry cumulative counters across a coordinator restart.
+
+        A relaunched coordinator seeds its steal/retry/duplicate tallies
+        from the previous incarnation's status sidecar so ``sweep-status``
+        reports one sweep, not one per incarnation."""
+        for field_name in ("reissued", "duplicates", "retried"):
+            value = snap.get(field_name)
+            if isinstance(value, int) and value >= 0:
+                setattr(self.counters, field_name, value)
 
     def _drop_from_leases(self, index: int) -> None:
         for lease_id, lease in list(self.leases.items()):

@@ -16,9 +16,15 @@ worker →    ``hello`` (join), ``request`` (ask for a lease), ``result``
             ``bye`` (clean leave)
 coordinator ``welcome`` (runner name + cell total), ``lease`` (cell batch
 →           + deadline), ``wait`` (all cells leased; retry later),
-            ``done`` (sweep complete), ``abort`` (sweep failed), ``ok``
-            (ack; ``status`` carries the dedup verdict for results)
+            ``done`` (sweep complete), ``abort`` (sweep failed),
+            ``drain`` (coordinator stopping gracefully — SIGTERM; stop
+            requesting, results already sent are safe), ``ok`` (ack;
+            ``status`` carries the dedup verdict for results)
 ========== =================================================================
+
+``wait.retry_s`` is advisory and clamped on *both* sides with
+:func:`clamp_retry_s`: a corrupt or hostile reply must not be able to
+park a worker for hours.
 """
 
 from __future__ import annotations
@@ -31,11 +37,31 @@ from repro.errors import ProtocolError
 
 __all__ = [
     "MAX_MESSAGE_BYTES",
+    "RETRY_MIN_S",
+    "RETRY_MAX_S",
+    "clamp_retry_s",
     "send_msg",
     "recv_msg",
     "parse_endpoint",
     "format_endpoint",
 ]
+
+#: Bounds on the coordinator-suggested idle-retry sleep. The floor keeps
+#: a zero/negative value from busy-spinning the request loop; the
+#: ceiling keeps a corrupt frame from parking a worker for hours.
+RETRY_MIN_S = 0.05
+RETRY_MAX_S = 5.0
+
+
+def clamp_retry_s(value) -> float:
+    """Coerce a ``retry_s`` field to a sane sleep in seconds."""
+    try:
+        retry = float(value)
+    except (TypeError, ValueError):
+        return RETRY_MIN_S
+    if retry != retry:  # NaN compares false everywhere
+        return RETRY_MIN_S
+    return min(max(retry, RETRY_MIN_S), RETRY_MAX_S)
 
 #: Upper bound on one frame. A cell summary is a few KB; even a dense
 #: trace-heavy bench result stays far below this. Anything larger is a

@@ -59,9 +59,15 @@ def read_status(checkpoint: "str | os.PathLike") -> dict:
         status["source"] = "coordinator"
         age = time.time() - float(live.get("updated_unix", 0.0))
         status["age_s"] = round(max(age, 0.0), 1)
-        status["stale"] = (
-            not live.get("finished", False) and age > STALE_AFTER_S
-        )
+        stale = not live.get("finished", False) and age > STALE_AFTER_S
+        status["stale"] = stale
+        status["presumed_dead"] = stale
+        if stale:
+            # A silent coordinator's sidecar is a freeze-frame, not a
+            # forecast: its throughput/ETA numbers describe a process
+            # that stopped producing them. Null the ETA so nothing
+            # renders a live-looking countdown from a dead file.
+            status["eta_s"] = None
     return status
 
 
@@ -92,10 +98,17 @@ def format_status(status: dict) -> str:
 
     done = status.get("done", 0)
     total = status.get("total", 0)
-    state = "finished" if status.get("finished") else (
-        "STALE (coordinator silent "
-        f"{status.get('age_s', '?')}s)" if status.get("stale") else "running"
-    )
+    if status.get("finished"):
+        state = "finished"
+    elif status.get("presumed_dead") or status.get("stale"):
+        state = (
+            "presumed dead (coordinator silent "
+            f"{status.get('age_s', '?')}s; relaunch with --resume)"
+        )
+    elif status.get("draining"):
+        state = "draining (SIGTERM)"
+    else:
+        state = "running"
     lines.append(
         f"sweep {status.get('endpoint') or '(closed)'}: {state} — "
         f"{done}/{total} done, {status.get('in_flight', 0)} in flight, "
@@ -111,6 +124,11 @@ def format_status(status: dict) -> str:
         f"  throughput {status.get('cells_per_s', 0):.3f} cells/s, "
         f"ETA {_eta_text(status)}, elapsed {status.get('elapsed_s', 0)}s"
     )
+    if status.get("recovered"):
+        lines.append(
+            f"  recovered {status['recovered']} cell(s) from a previous "
+            "coordinator's checkpoint"
+        )
     if status.get("error"):
         lines.append(f"  error: {status['error']}")
     workers = status.get("workers") or {}

@@ -13,11 +13,21 @@ Liveness: while a lease is executing, a background thread heartbeats the
 coordinator over short-lived side connections (no socket sharing with
 the result stream), pushing the lease deadline out. Kill the worker and
 the heartbeats stop; one lease TTL later its unfinished cells are stolen.
+
+Crash tolerance: every connection attempt uses capped exponential
+backoff with jitter, and a broken session (coordinator killed, socket
+severed, chaos-injected drop) is retried from a fresh connection rather
+than abandoned — results already acked are safe under the coordinator's
+at-most-once accounting, and a relaunched coordinator (``--resume``)
+looks to the worker like a slow reconnect. Only two things end a worker:
+the coordinator saying so (``done``/``abort``/``drain``) or the
+reconnect budget (``max_connect_attempts``) running dry.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
 import subprocess
 import sys
@@ -27,7 +37,13 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import FabricError, ProtocolError, ReproError
-from repro.fabric.protocol import parse_endpoint, recv_msg, send_msg
+from repro.fabric.chaos import ChaosConfig, ChaosLink
+from repro.fabric.protocol import (
+    clamp_retry_s,
+    parse_endpoint,
+    recv_msg,
+    send_msg,
+)
 
 __all__ = ["SweepWorker", "spawn_local_workers"]
 
@@ -40,22 +56,59 @@ class SweepWorker:
         endpoint: str,
         *,
         name: str | None = None,
-        connect_retries: int = 20,
-        connect_retry_s: float = 0.25,
+        max_connect_attempts: int = 12,
+        connect_backoff_s: float = 0.2,
+        connect_backoff_cap_s: float = 3.0,
+        chaos: "ChaosConfig | str | dict | None" = None,
         log: Callable[[str], None] | None = None,
+        connect_retries: int | None = None,
+        connect_retry_s: float | None = None,
     ) -> None:
         self.host, self.port = parse_endpoint(endpoint)
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
-        self.connect_retries = connect_retries
-        self.connect_retry_s = connect_retry_s
+        # Legacy spellings from the fixed-sleep era map onto the backoff
+        # knobs: retries -> attempt budget, retry_s -> backoff base.
+        if connect_retries is not None:
+            max_connect_attempts = connect_retries
+        if connect_retry_s is not None:
+            connect_backoff_s = connect_retry_s
+        if max_connect_attempts < 1:
+            raise FabricError(
+                f"max_connect_attempts must be >= 1, got {max_connect_attempts}"
+            )
+        if connect_backoff_s <= 0 or connect_backoff_cap_s <= 0:
+            raise FabricError("connect backoff times must be positive")
+        self.max_connect_attempts = int(max_connect_attempts)
+        self.connect_backoff_s = float(connect_backoff_s)
+        self.connect_backoff_cap_s = float(connect_backoff_cap_s)
+        chaos_cfg = ChaosConfig.coerce(chaos)
+        #: Seeded fault model on the request/reply stream, or ``None``.
+        self.chaos: ChaosLink | None = (
+            ChaosLink(chaos_cfg)
+            if chaos_cfg is not None and not chaos_cfg.quiet
+            else None
+        )
         self.log = log or (lambda line: None)
         self.cells_done = 0
         self.leases_taken = 0
+        self._joined = False
+        # Deterministic per-name jitter: a fleet of workers restarting
+        # together fans out instead of thundering back in lockstep.
+        self._rng = random.Random(f"{self.name}:backoff")
 
     # -- connections -------------------------------------------------------------------
+    def _backoff_sleep(self, attempt: int) -> None:
+        """Capped exponential backoff with jitter before retry ``attempt``."""
+        base = min(
+            self.connect_backoff_s * (2.0 ** attempt),
+            self.connect_backoff_cap_s,
+        )
+        time.sleep(base * (0.5 + self._rng.random()))
+
     def _connect(self) -> socket.socket:
         last: Exception | None = None
-        for _attempt in range(max(self.connect_retries, 1)):
+        attempts = self.max_connect_attempts
+        for attempt in range(attempts):
             try:
                 conn = socket.create_connection(
                     (self.host, self.port), timeout=30.0
@@ -64,10 +117,19 @@ class SweepWorker:
                 return conn
             except OSError as exc:
                 last = exc
-                time.sleep(self.connect_retry_s)
+                if attempt + 1 < attempts:
+                    self._backoff_sleep(attempt)
         raise FabricError(
-            f"cannot reach coordinator at {self.host}:{self.port}: {last}"
+            f"cannot reach coordinator at {self.host}:{self.port} "
+            f"after {attempts} attempt(s): {last}"
         )
+
+    def _exchange(self, conn: socket.socket, message: dict) -> dict | None:
+        """One request/reply, routed through the chaos link when set."""
+        if self.chaos is not None:
+            return self.chaos.exchange(conn, message)
+        send_msg(conn, message)
+        return recv_msg(conn)
 
     def _heartbeat_loop(self, stop: threading.Event, interval: float) -> None:
         """Prove liveness over throwaway connections until ``stop`` is set.
@@ -124,9 +186,15 @@ class SweepWorker:
         try:
             for cell in lease["cells"]:
                 message = self._execute_cell(runner, cell)
-                send_msg(conn, message)
-                ack = recv_msg(conn)
-                if ack is None or ack["type"] == "abort":
+                ack = self._exchange(conn, message)
+                if ack is None:
+                    # Coordinator vanished mid-lease: surface as a torn
+                    # session so the reconnect loop takes over (the
+                    # unacked cell will be re-leased and re-run).
+                    raise ProtocolError(
+                        "coordinator closed the connection mid-lease"
+                    )
+                if ack["type"] == "abort":
                     return False
                 if ack["type"] == "error":
                     raise FabricError(
@@ -145,50 +213,78 @@ class SweepWorker:
         return True
 
     # -- main loop ---------------------------------------------------------------------
-    def run(self) -> dict[str, int]:
-        """Work until the coordinator reports the sweep done (or gone).
-
-        Returns ``{"cells": completed, "leases": taken}``.
-        """
-        conn = self._connect()
-        try:
-            send_msg(conn, {"type": "hello", "worker": self.name})
-            welcome = recv_msg(conn)
-            if welcome is None or welcome["type"] != "welcome":
-                raise FabricError(
-                    f"coordinator handshake failed: {welcome!r}"
-                )
-            self.log(
-                f"[{self.name}] joined {self.host}:{self.port} "
-                f"({welcome['total']} cells, runner={welcome['runner']!r})"
+    def _session(self, conn: socket.socket) -> None:
+        """One connected session: handshake, then lease/execute until the
+        coordinator ends the sweep. Raises :class:`ProtocolError` /
+        ``OSError`` on a torn connection (the caller reconnects)."""
+        reply = self._exchange(conn, {"type": "hello", "worker": self.name})
+        if reply is None or reply["type"] != "welcome":
+            raise FabricError(f"coordinator handshake failed: {reply!r}")
+        verb = "rejoined" if self._joined else "joined"
+        self._joined = True
+        self.log(
+            f"[{self.name}] {verb} {self.host}:{self.port} "
+            f"({reply['total']} cells, runner={reply['runner']!r})"
+        )
+        while True:
+            reply = self._exchange(
+                conn, {"type": "request", "worker": self.name}
             )
-            while True:
-                send_msg(conn, {"type": "request", "worker": self.name})
-                reply = recv_msg(conn)
-                if reply is None:
-                    break  # coordinator closed on us
-                if reply["type"] == "lease":
-                    if not self._run_lease(conn, reply):
-                        break
-                elif reply["type"] == "wait":
-                    time.sleep(float(reply.get("retry_s", 0.5)))
-                elif reply["type"] in ("done", "abort"):
-                    break
-                else:
-                    raise FabricError(
-                        f"unexpected coordinator reply {reply['type']!r}"
-                    )
+            if reply is None:
+                # Clean EOF without a terminal verdict: coordinator went
+                # down (or was SIGKILLed between frames). Reconnect.
+                raise ProtocolError("coordinator closed the connection")
+            if reply["type"] == "lease":
+                if not self._run_lease(conn, reply):
+                    return  # aborted
+            elif reply["type"] == "wait":
+                time.sleep(clamp_retry_s(reply.get("retry_s", 0.5)))
+            elif reply["type"] == "drain":
+                self.log(
+                    f"[{self.name}] coordinator draining: "
+                    f"{reply.get('message', '')}"
+                )
+                return
+            elif reply["type"] in ("done", "abort"):
+                return
+            else:
+                raise FabricError(
+                    f"unexpected coordinator reply {reply['type']!r}"
+                )
+
+    def run(self) -> dict[str, int]:
+        """Work until the coordinator reports the sweep over (or gone).
+
+        Returns ``{"cells": completed, "leases": taken}``. A torn
+        session triggers reconnection with backoff; once the reconnect
+        budget is exhausted *after* having joined, the worker exits
+        cleanly with whatever it completed (an unreachable endpoint on
+        the *first* join still raises — that is a config error, not a
+        crash).
+        """
+        while True:
             try:
-                send_msg(conn, {"type": "bye", "worker": self.name})
-            except OSError:
-                pass
-        except (OSError, ProtocolError):
-            pass  # coordinator went away; exit with what we have
-        finally:
+                conn = self._connect()
+            except FabricError as exc:
+                if not self._joined:
+                    raise
+                self.log(f"[{self.name}] giving up: {exc}")
+                break
             try:
-                conn.close()
-            except OSError:
-                pass
+                self._session(conn)
+                try:
+                    send_msg(conn, {"type": "bye", "worker": self.name})
+                except (OSError, ProtocolError):
+                    pass
+                break
+            except (OSError, ProtocolError) as exc:
+                self.log(f"[{self.name}] session lost ({exc}); reconnecting")
+                continue
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
         self.log(
             f"[{self.name}] leaving: {self.cells_done} cell(s) over "
             f"{self.leases_taken} lease(s)"

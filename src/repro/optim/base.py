@@ -78,6 +78,13 @@ class OptimizerConfig:
     #: Rules that only make sense at one granularity (Hogwild, federated
     #: averaging) override this.
     granularity: str = "worker"
+    #: Mid-run crash-recovery snapshots: every ``snapshot_every`` applied
+    #: updates the async server loop atomically replaces
+    #: ``snapshot_path`` with its full run snapshot (model iterate,
+    #: counters, policy/placement/HIST state). 0 disables; both fields
+    #: must be set together.
+    snapshot_every: int = 0
+    snapshot_path: str | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.batch_fraction <= 1:
@@ -92,6 +99,13 @@ class OptimizerConfig:
             raise OptimError("pipeline_depth must be >= 1")
         if self.granularity not in ("worker", "partition"):
             raise OptimError("granularity must be 'worker' or 'partition'")
+        if self.snapshot_every < 0:
+            raise OptimError("snapshot_every must be >= 0")
+        if (self.snapshot_every > 0) != (self.snapshot_path is not None):
+            raise OptimError(
+                "mid-run snapshots need both snapshot_every >= 1 "
+                "and snapshot_path"
+            )
 
 
 @dataclass
@@ -161,6 +175,13 @@ class DistributedOptimizer:
         #: The run's scheduling policy (``barrier=`` is the legacy alias).
         self.policy = policy if policy is not None else barrier
         self.n_total = points.n_rows
+        #: A run snapshot (or bare server-state dict) to resume from;
+        #: the spec layer sets it from ``restore_from`` and the server
+        #: loop picks it up when constructed without an explicit one.
+        self.restore_state: dict | None = None
+        #: A resolved :class:`~repro.cluster.faultplan.FaultPlan` driven
+        #: against the backend while the server loop runs.
+        self.fault_plan: Any = None
 
     @property
     def barrier(self) -> SchedulingPolicy | None:

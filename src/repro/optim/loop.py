@@ -177,11 +177,19 @@ class UpdateRule:
 class ServerLoop:
     """Owns the asynchronous driver; delegates mathematics to the rule.
 
-    ``restore_state`` (a previous run's :meth:`state_dict`) reinstates
-    the checkpointable server state — the policy's RNG/counters, the
-    coordinator's placement overlay, and every bounded HIST channel —
-    before the first dispatch, so a resumed run continues the original's
-    decision sequence instead of restarting it.
+    ``restore_state`` accepts either a previous run's
+    :meth:`state_dict` — reinstating the checkpointable server state
+    (policy RNG/counters, placement overlay, bounded HIST channels)
+    before the first dispatch — or a full mid-run snapshot (see
+    :mod:`repro.core.snapshots`), which additionally restores the model
+    iterate and the update/round counters so a SIGKILLed run continues
+    from the exact update its latest snapshot captured. When omitted it
+    falls back to the host optimizer's ``restore_state`` attribute (the
+    spec layer's ``restore_from`` plumbing).
+
+    With ``snapshot_every``/``snapshot_path`` set (explicitly or via
+    the config), the loop atomically rewrites the snapshot file every N
+    applied updates — the crash-recovery side of the same contract.
     """
 
     def __init__(
@@ -189,10 +197,37 @@ class ServerLoop:
         opt: "DistributedOptimizer",
         rule: UpdateRule,
         restore_state: dict | None = None,
+        *,
+        snapshot_every: int | None = None,
+        snapshot_path: str | None = None,
+        fault_plan: Any = None,
     ) -> None:
+        from repro.core.snapshots import SnapshotWriter
+        from repro.errors import SnapshotError
+
         self.opt = opt
         self.rule = rule
+        if restore_state is None:
+            restore_state = getattr(opt, "restore_state", None)
         self.restore_state = restore_state
+        cfg = opt.config
+        every = (
+            snapshot_every if snapshot_every is not None
+            else getattr(cfg, "snapshot_every", 0)
+        )
+        path = (
+            snapshot_path if snapshot_path is not None
+            else getattr(cfg, "snapshot_path", None)
+        )
+        if bool(every) != (path is not None):
+            raise SnapshotError(
+                "mid-run snapshots need both snapshot_every >= 1 "
+                "and snapshot_path"
+            )
+        self.snapshots = SnapshotWriter(path, every) if every else None
+        if fault_plan is None:
+            fault_plan = getattr(opt, "fault_plan", None)
+        self.fault_plan = fault_plan
         #: The run's scheduling policy, normalized once so the dispatch
         #: path and the per-result ``weight`` hook see one instance.
         self.policy = as_policy(opt.policy)
@@ -215,29 +250,97 @@ class ServerLoop:
         self.ac.coordinator.load_state(state.get("coordinator", {}))
         self.ac.history.restore(state.get("history", {}))
 
+    def snapshot_state(
+        self, w, updates: int, rounds: int, epoch_rounds_left: int
+    ) -> dict:
+        """The full mid-run snapshot payload at applied update ``updates``.
+
+        Deliberately excludes run *limits* (``max_updates``, wall
+        timestamps): the snapshot a long run writes the instant update
+        K applies must be byte-identical to the final snapshot of the
+        same spec run with ``max_updates=K``.
+        """
+        from repro.core.snapshots import SNAPSHOT_FORMAT, encode_value
+
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "run": {
+                "algorithm": self.rule.algorithm_label(),
+                "num_workers": self.opt.ctx.num_workers,
+                "seed": self.opt.config.seed,
+            },
+            "updates": int(updates),
+            "rounds": int(rounds),
+            "epoch_rounds_left": int(epoch_rounds_left),
+            "version": int(self.ac.stat.current_version),
+            "w": encode_value(w),
+            "server": self.state_dict(),
+        }
+
+    def _check_snapshot(self, snap: dict) -> None:
+        from repro.errors import SnapshotError
+
+        run = snap.get("run", {})
+        checks = (
+            ("algorithm", run.get("algorithm"), self.rule.algorithm_label()),
+            ("num_workers", run.get("num_workers"), self.opt.ctx.num_workers),
+            ("seed", run.get("seed"), self.opt.config.seed),
+        )
+        for field, snap_value, ours in checks:
+            if snap_value is not None and snap_value != ours:
+                raise SnapshotError(
+                    f"snapshot {field} mismatch: snapshot has "
+                    f"{snap_value!r}, this run has {ours!r} — resuming "
+                    "would silently diverge from the original trajectory"
+                )
+
     def run(self) -> "RunResult":
+        from repro.core.snapshots import decode_value, is_run_snapshot
         from repro.optim.base import RunResult
 
         opt, rule, ac = self.opt, self.rule, self.ac
         cfg = opt.config
         rule.bind(self)
 
+        restore = self.restore_state
+        full = restore if is_run_snapshot(restore) else None
+
         w = rule.initial_point()
         trace = ConvergenceTrace()
-        trace.record(opt.ctx.now(), 0, w)
-        rule.setup(w)
-        if self.restore_state is not None:
-            # Restored state wins over setup defaults (and must land
-            # before the first dispatch so the policy's decision sequence
-            # continues rather than restarts).
-            self._restore(self.restore_state)
+        updates = 0
+        rounds = 0
+        epoch_rounds_left = 0
+        if full is None:
+            trace.record(opt.ctx.now(), 0, w)
+            rule.setup(w)
+            if restore is not None:
+                # Restored state wins over setup defaults (and must land
+                # before the first dispatch so the policy's decision
+                # sequence continues rather than restarts).
+                self._restore(restore)
+        else:
+            # Crash-recovery resume: rebuild setup defaults, then
+            # overwrite them with the snapshot's server state, model
+            # iterate and counters, so the loop continues from the
+            # exact applied update the snapshot captured.
+            self._check_snapshot(full)
+            rule.setup(w)
+            self._restore(full.get("server", {}))
+            w = decode_value(full["w"])
+            updates = int(full["updates"])
+            rounds = int(full["rounds"])
+            epoch_rounds_left = int(full["epoch_rounds_left"])
+            ac.stat.current_version = int(full.get("version", updates))
+            trace.record(opt.ctx.now(), updates, w)
         # The paper's wait-time metric is per *iteration*: the window opens
         # after any setup pass (e.g. SAGA's synchronous initialization).
         metrics_start = len(opt.ctx.dispatcher.metrics_log)
 
-        updates = 0
-        rounds = 0
-        epoch_rounds_left = 0
+        faults = None
+        if self.fault_plan is not None and not self.fault_plan.empty:
+            from repro.cluster.faultplan import FaultPlanDriver
+
+            faults = FaultPlanDriver(self.fault_plan, opt.ctx)
 
         def apply_one(record) -> None:
             nonlocal w, updates
@@ -268,8 +371,23 @@ class ServerLoop:
             ac.model_updated()
             if updates % cfg.eval_every == 0:
                 trace.record(opt.ctx.now(), updates, w)
+            if self.snapshots is not None and self.snapshots.due(updates):
+                # Written at the instant update N applies, before any
+                # further collect mutates rule state — which is what
+                # makes a mid-run snapshot byte-identical to the final
+                # snapshot of a max_updates=N run of the same spec.
+                self.snapshots.write(
+                    self.snapshot_state(
+                        w, updates, rounds, epoch_rounds_left
+                    )
+                )
 
         while not opt._should_stop(updates):
+            if faults is not None and faults.poll() > 0:
+                # Liveness changed under the scheduler: re-sync STAT so
+                # killed workers stop being candidates and revived ones
+                # are re-admitted.
+                ac.refresh_workers()
             if rule.epoch_length is not None and epoch_rounds_left == 0:
                 rule.begin_epoch(w)
                 epoch_rounds_left = rule.epoch_length
@@ -320,6 +438,15 @@ class ServerLoop:
             # it cost.
             extras["history"] = ac.history.accounting()
             extras["history_bytes"] = ac.history.total_stored_bytes
+        if faults is not None:
+            extras["fault_plan"] = self.fault_plan.describe()
+            extras["fault_events"] = faults.fired
+            extras["fault_events_suppressed"] = faults.suppressed
+            extras["faults"] = faults.log
+        if self.snapshots is not None:
+            extras["snapshots_written"] = self.snapshots.written
+        if full is not None:
+            extras["resumed_from_update"] = int(full["updates"])
         # Checkpointable server state (policy RNG/counters, placement
         # overlay, bounded HIST channels) — rides the sweep checkpoint
         # path so a resumed cell can continue deterministically. Omitted

@@ -289,3 +289,256 @@ def test_seal_isolates_torn_tail_before_appends_resume(tmp_path):
     ckpt.seal()  # idempotent on a clean file
     assert [index for index, _k, _s in ckpt.entries()] == [0, 2]
     assert SweepCheckpoint(tmp_path / "missing.jsonl").seal() is None
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery units: recovered cells, carried counters, clamped sleeps
+# ---------------------------------------------------------------------------
+
+def test_mark_done_recovers_cells_without_a_worker():
+    cells = _cells(3, groups=1)
+    table = LeaseTable(cells, lease_size=3)
+    assert table.mark_done(0)
+    assert table.cells[0].status == "done"
+    assert table.cells[0].worker == "(recovered)"
+    assert not table.mark_done(0)        # already done: no-op
+    assert not table.mark_done(99)       # unknown index: no-op
+    # Recovered cells are never leased again.
+    lease = table.acquire("w1", now=0.0)
+    assert 0 not in lease.indices
+    for index in (1, 2):
+        table.complete(index, cells[index][1], "w1", now=1.0)
+    assert table.done
+
+
+def test_mark_done_drops_cell_from_live_lease():
+    cells = _cells(2, groups=1)
+    table = LeaseTable(cells, lease_size=2)
+    lease = table.acquire("w1", now=0.0)
+    first, second = lease.indices  # mark_done edits the list in place
+    table.mark_done(first)
+    assert lease.indices == [second]  # the lease shrank
+    table.complete(second, cells[second][1], "w1", 1.0)
+    assert table.done and not table.leases
+
+
+def test_restore_counters_accepts_only_sane_values():
+    table = LeaseTable(_cells(1, groups=1))
+    table.restore_counters(
+        {"reissued": 4, "duplicates": 2, "retried": 1, "done": 99}
+    )
+    assert (table.counters.reissued, table.counters.duplicates,
+            table.counters.retried) == (4, 2, 1)
+    table.restore_counters({"reissued": -1, "duplicates": "nope"})
+    assert table.counters.reissued == 4      # junk ignored
+    assert table.counters.duplicates == 2
+
+
+def test_clamp_retry_s_bounds_hostile_values():
+    from repro.fabric import clamp_retry_s
+    from repro.fabric.protocol import RETRY_MAX_S, RETRY_MIN_S
+
+    assert clamp_retry_s(0.5) == 0.5
+    assert clamp_retry_s(0) == RETRY_MIN_S
+    assert clamp_retry_s(-3) == RETRY_MIN_S
+    assert clamp_retry_s(1e9) == RETRY_MAX_S
+    assert clamp_retry_s("0.7") == 0.7
+    assert clamp_retry_s("soon") == RETRY_MIN_S
+    assert clamp_retry_s(None) == RETRY_MIN_S
+    assert clamp_retry_s(float("nan")) == RETRY_MIN_S
+    assert clamp_retry_s(float("inf")) == RETRY_MAX_S
+
+
+# ---------------------------------------------------------------------------
+# Chaos config and worker backoff units
+# ---------------------------------------------------------------------------
+
+def test_chaos_config_parse_spellings():
+    from repro.fabric import ChaosConfig
+
+    cfg = ChaosConfig.parse("drop=0.1,dup=0.05,delay=20,sever=50,seed=3")
+    assert (cfg.drop, cfg.duplicate, cfg.delay_ms, cfg.sever_every,
+            cfg.seed) == (0.1, 0.05, 20.0, 50, 3)
+    assert ChaosConfig.coerce(None) is None
+    assert ChaosConfig.coerce(cfg) is cfg
+    assert ChaosConfig.coerce({"dup": 0.2}).duplicate == 0.2
+    assert ChaosConfig.parse("").quiet
+    with pytest.raises(FabricError, match="unknown chaos term"):
+        ChaosConfig.parse("explode=1")
+    with pytest.raises(FabricError, match="name=value"):
+        ChaosConfig.parse("drop")
+    with pytest.raises(FabricError, match="probability"):
+        ChaosConfig.parse("drop=1.5")
+    with pytest.raises(FabricError, match=">= 0"):
+        ChaosConfig(delay_ms=-1)
+
+
+def _echo_peer(sock, seen):
+    """Reply {"type": "ok", "echo": i} to every frame until EOF."""
+    import threading
+
+    def run():
+        while True:
+            try:
+                msg = recv_msg(sock)
+            except (ProtocolError, OSError):
+                return
+            if msg is None:
+                return
+            seen.append(msg["i"])
+            try:
+                send_msg(sock, {"type": "ok", "echo": msg["i"]})
+            except OSError:
+                return
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+def test_chaos_link_sever_cadence_closes_the_connection():
+    from repro.fabric import ChaosConfig, ChaosLink
+
+    link = ChaosLink(ChaosConfig(sever_every=2))
+    a, b = _pair()
+    seen = []
+    thread = _echo_peer(b, seen)
+    assert link.exchange(a, {"type": "t", "i": 1})["echo"] == 1
+    with pytest.raises(ProtocolError, match="severed"):
+        link.exchange(a, {"type": "t", "i": 2})
+    assert (link.frames, link.severed) == (2, 1)
+    assert seen == [1]  # the severed frame was never sent
+    b.close()
+    thread.join(timeout=5.0)
+
+
+def test_chaos_link_duplicate_sends_twice_drains_extra_reply():
+    from repro.fabric import ChaosConfig, ChaosLink
+
+    link = ChaosLink(ChaosConfig(duplicate=1.0))
+    a, b = _pair()
+    seen = []
+    thread = _echo_peer(b, seen)
+    assert link.exchange(a, {"type": "t", "i": 7})["echo"] == 7
+    assert link.exchange(a, {"type": "t", "i": 8})["echo"] == 8
+    assert link.duplicated == 2
+    assert seen == [7, 7, 8, 8]  # peer saw every frame twice, in order
+    a.close(), b.close()
+    thread.join(timeout=5.0)
+
+
+def test_chaos_link_drop_closes_the_connection():
+    from repro.fabric import ChaosConfig, ChaosLink
+
+    link = ChaosLink(ChaosConfig(drop=1.0))
+    a, b = _pair()
+    seen = []
+    thread = _echo_peer(b, seen)
+    with pytest.raises(ProtocolError, match="dropped"):
+        link.exchange(a, {"type": "t", "i": 1})
+    assert (link.frames, link.dropped) == (1, 1)
+    assert seen == []
+    b.close()
+    thread.join(timeout=5.0)
+
+
+def test_worker_backoff_is_capped_exponential_with_jitter(monkeypatch):
+    from repro.fabric import SweepWorker
+
+    sleeps = []
+    monkeypatch.setattr("repro.fabric.worker.time.sleep", sleeps.append)
+    worker = SweepWorker(
+        # Nothing listens on this port; connect fails instantly.
+        "127.0.0.1:9",
+        name="backoff-test",
+        max_connect_attempts=6,
+        connect_backoff_s=0.2,
+        connect_backoff_cap_s=1.0,
+    )
+    with pytest.raises(FabricError, match="after 6 attempt"):
+        worker._connect()
+    # One sleep between attempts (none after the last).
+    assert len(sleeps) == 5
+    bases = [0.2, 0.4, 0.8, 1.0, 1.0]  # doubled, then capped
+    for slept, base in zip(sleeps, bases):
+        assert 0.5 * base <= slept <= 1.5 * base  # jitter in [0.5, 1.5)x
+    # The jitter stream is per-name deterministic.
+    sleeps2 = []
+    monkeypatch.setattr("repro.fabric.worker.time.sleep", sleeps2.append)
+    worker2 = SweepWorker(
+        "127.0.0.1:9", name="backoff-test", max_connect_attempts=6,
+        connect_backoff_s=0.2, connect_backoff_cap_s=1.0,
+    )
+    with pytest.raises(FabricError):
+        worker2._connect()
+    assert sleeps2 == sleeps
+
+
+def test_worker_legacy_kwargs_map_to_backoff_knobs():
+    from repro.fabric import SweepWorker
+
+    worker = SweepWorker(
+        "127.0.0.1:9", connect_retries=3, connect_retry_s=0.5
+    )
+    assert worker.max_connect_attempts == 3
+    assert worker.connect_backoff_s == 0.5
+    with pytest.raises(FabricError, match="max_connect_attempts"):
+        SweepWorker("127.0.0.1:9", max_connect_attempts=0)
+
+
+# ---------------------------------------------------------------------------
+# Status view: a silent coordinator is presumed dead, not ETA'd
+# ---------------------------------------------------------------------------
+
+def test_stale_sidecar_reports_presumed_dead(tmp_path):
+    from repro.fabric import read_status, status_path_for
+    from repro.fabric.status import format_status
+
+    ckpt = tmp_path / "sweep.jsonl"
+    SweepCheckpoint(ckpt).append(0, "k0", {"ok": True})
+    status_path_for(ckpt).write_text(json.dumps({
+        "fabric": "sweep", "total": 4, "done": 1, "in_flight": 2,
+        "pending": 1, "failed": 0, "finished": False, "draining": False,
+        "cells_per_s": 0.5, "eta_s": 6.0, "elapsed_s": 2.0,
+        "updated_unix": 12345.0,  # epoch-ancient: long past STALE_AFTER_S
+    }))
+    status = read_status(ckpt)
+    assert status["stale"] and status["presumed_dead"]
+    assert status["eta_s"] is None  # a dead file forecasts nothing
+    rendered = format_status(status)
+    assert "presumed dead" in rendered
+    assert "--resume" in rendered
+    assert "ETA n/a" in rendered
+
+
+def test_fresh_finished_sidecar_is_not_presumed_dead(tmp_path):
+    import time as _time
+
+    from repro.fabric import read_status, status_path_for
+
+    ckpt = tmp_path / "sweep.jsonl"
+    SweepCheckpoint(ckpt).append(0, "k0", {"ok": True})
+    status_path_for(ckpt).write_text(json.dumps({
+        "fabric": "sweep", "total": 1, "done": 1, "finished": True,
+        "updated_unix": _time.time() - 3600,  # old but *finished*
+    }))
+    status = read_status(ckpt)
+    assert not status["stale"] and not status["presumed_dead"]
+
+
+def test_request_reclaims_workers_stale_lease():
+    """One-lease-at-a-time: a worker requesting again (duplicated frame
+    or torn session) gets its old lease re-pooled instead of orphaned."""
+    cells = _cells(4, groups=1)
+    table = LeaseTable(cells, lease_ttl=1000.0, lease_size=2)
+    first = table.acquire("w1", now=0.0)
+    second = table.acquire("w1", now=0.1)  # duplicate request
+    assert sorted(second.indices) == sorted(first.indices)
+    assert table.counters.reissued == 2
+    assert len(table.leases) == 1  # the orphan is gone, not deadlocked
+    # Another worker drains the rest; the sweep completes.
+    third = table.acquire("w2", now=0.2)
+    for index in list(second.indices) + list(third.indices):
+        table.complete(index, cells[index][1], table.cells[index].worker,
+                       now=1.0)
+    assert table.done

@@ -386,3 +386,208 @@ def test_sweep_status_cli_renders_finished_run(tmp_path, capsys):
     assert main(["sweep-status", str(path), "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["done"] == 4 and payload["source"] == "coordinator"
+
+
+# ---------------------------------------------------------------------------
+# Coordinator crash recovery: SIGKILL / SIGTERM the *service*, relaunch
+# ---------------------------------------------------------------------------
+
+import os
+import signal
+import subprocess
+import sys
+
+_ENV = dict(
+    os.environ,
+    PYTHONPATH=str(__import__("pathlib").Path(__file__).resolve().parents[1]
+                   / "src"),
+)
+
+RELAUNCH_GRID = {
+    "base": {
+        "algorithm": "asgd", "dataset": "mnist8m_like", "num_workers": 8,
+        "num_partitions": 32, "delay": "cds:0.6", "max_updates": 300,
+        "eval_every": 50,
+    },
+    "grid": {"seed": [0, 1], "batch_fraction": [0.05, 0.1, 0.15, 0.2]},
+}
+
+
+def _free_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+def _serve(spec_file, ckpt, port, *, resume=False):
+    cmd = [sys.executable, "-m", "repro", "sweep", str(spec_file),
+           "--serve", f"127.0.0.1:{port}", "--checkpoint", str(ckpt)]
+    if resume:
+        cmd.append("--resume")
+    return subprocess.Popen(
+        cmd, env=_ENV, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _spawn_worker(port, *, name):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "sweep-worker",
+         f"127.0.0.1:{port}", "--name", name],
+        env=_ENV, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _wait_for_entries(ckpt, n, coordinator_proc, timeout=90.0):
+    deadline = time.monotonic() + timeout
+    while len(ckpt.entries()) < n:
+        assert time.monotonic() < deadline, f"never reached {n} entries"
+        assert coordinator_proc.poll() is None, (
+            "coordinator exited early:\n" + coordinator_proc.stdout.read()
+        )
+        time.sleep(0.05)
+
+
+def _cleanup(procs):
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10.0)
+        except Exception:
+            pass
+
+
+def test_sigkill_coordinator_relaunch_resume_completes_with_parity(tmp_path):
+    """Kill the *coordinator* mid-sweep; the relaunched service rebuilds
+    its lease table from the sealed checkpoint, the surviving worker
+    reconnects with backoff, and the finished sweep is bit-identical to
+    a serial run."""
+    serial = run_grid(RELAUNCH_GRID)
+    spec_file = tmp_path / "grid.json"
+    spec_file.write_text(json.dumps(RELAUNCH_GRID))
+    ckpt = SweepCheckpoint(tmp_path / "grid.ckpt.jsonl")
+    port = _free_port()
+
+    coord = _serve(spec_file, ckpt.path, port)
+    worker = _spawn_worker(port, name="survivor")
+    try:
+        _wait_for_entries(ckpt, 2, coord)
+        coord.send_signal(signal.SIGKILL)
+        coord.wait(timeout=10.0)
+        recorded_at_kill = len(ckpt.entries())
+
+        coord2 = _serve(spec_file, ckpt.path, port, resume=True)
+        out2, _ = coord2.communicate(timeout=180.0)
+        assert coord2.returncode == 0, out2
+        wout, _ = worker.communicate(timeout=60.0)
+        assert worker.returncode == 0, wout
+        # The worker lived through the outage: it reconnected rather
+        # than restarted.
+        assert "rejoined" in wout or "reconnecting" in wout
+    finally:
+        _cleanup([coord, worker])
+
+    entries = ckpt.entries()
+    assert sorted(i for i, _k, _s in entries) == list(range(len(serial)))
+    assert len(entries) == len(serial)  # pre-kill cells were not re-run
+    loaded = ckpt.load()
+    fabric_list = [loaded[i][1] for i in range(len(serial))]
+    assert json.dumps(fabric_list, sort_keys=True) == json.dumps(
+        serial, sort_keys=True
+    )
+    assert recorded_at_kill >= 2  # the resume really had work to skip
+
+
+def test_sigterm_drains_exits_143_and_resume_finishes(tmp_path):
+    """SIGTERM on `sweep --serve` drains: stop leasing, flush in-flight
+    results, write a final sidecar, exit 143; `--resume` finishes the
+    remainder."""
+    spec_file = tmp_path / "grid.json"
+    spec_file.write_text(json.dumps(RELAUNCH_GRID))
+    ckpt = SweepCheckpoint(tmp_path / "grid.ckpt.jsonl")
+    total = len(GridSpec.coerce(RELAUNCH_GRID))
+    port = _free_port()
+
+    coord = _serve(spec_file, ckpt.path, port)
+    worker = _spawn_worker(port, name="drained")
+    try:
+        _wait_for_entries(ckpt, 1, coord)
+        coord.send_signal(signal.SIGTERM)
+        out, _ = coord.communicate(timeout=120.0)
+        assert coord.returncode == 143, out
+        wout, _ = worker.communicate(timeout=60.0)
+        assert worker.returncode == 0, wout
+        assert "draining" in wout
+
+        # The final sidecar records the drain, and the checkpoint kept
+        # everything that was in flight when the signal landed.
+        status = read_status(ckpt.path)
+        assert status["draining"] is True and status["finished"] is True
+        assert "drained" in (status["error"] or "")
+        drained_count = len(ckpt.entries())
+        assert 1 <= drained_count < total
+
+        coord2 = _serve(spec_file, ckpt.path, port, resume=True)
+        worker2 = _spawn_worker(port, name="finisher")
+        out2, _ = coord2.communicate(timeout=180.0)
+        assert coord2.returncode == 0, out2
+        worker2.communicate(timeout=60.0)
+    finally:
+        _cleanup([coord, worker])
+        try:
+            _cleanup([coord2, worker2])
+        except NameError:
+            pass
+
+    assert sorted(i for i, _k, _s in ckpt.entries()) == list(range(total))
+    # The resumed coordinator's sidecar covers exactly the remainder:
+    # the driver filtered already-recorded cells out before serving.
+    status = read_status(ckpt.path)
+    assert status["finished"] is True
+    assert status["total"] == total - drained_count
+    assert status["done"] == total - drained_count
+
+
+# ---------------------------------------------------------------------------
+# Chaos worker: perturbed wire traffic, unperturbed results
+# ---------------------------------------------------------------------------
+
+def test_chaos_worker_completes_sweep_with_parity(tmp_path):
+    serial = run_grid(GRID)
+    ckpt = SweepCheckpoint(tmp_path / "sweep.jsonl")
+    coordinator = SweepCoordinator(
+        _grid_cells(GRID),
+        lease_size=1,
+        lease_ttl=5.0,
+        on_result=_checkpointing(ckpt),
+    )
+    with coordinator:
+        worker = SweepWorker(
+            coordinator.endpoint,
+            name="chaotic",
+            chaos="dup=0.3,sever=6,seed=1",
+            connect_backoff_s=0.05,
+            connect_backoff_cap_s=0.2,
+        )
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        results = coordinator.wait(timeout=120.0)
+        thread.join(timeout=30.0)
+
+    # The wire was genuinely hostile...
+    assert worker.chaos is not None
+    assert worker.chaos.severed >= 1
+    assert worker.chaos.duplicated >= 1
+    # ...but the sweep finished with exactly one entry per cell and
+    # summaries bit-identical to the serial run.
+    entries = ckpt.entries()
+    assert sorted(i for i, _k, _s in entries) == list(range(len(serial)))
+    fabric_list = [results[i] for i in range(len(serial))]
+    assert json.dumps(fabric_list, sort_keys=True) == json.dumps(
+        serial, sort_keys=True
+    )

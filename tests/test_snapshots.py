@@ -1,0 +1,322 @@
+"""Crash-safe runs: mid-run snapshots and verified SIGKILL recovery.
+
+The contract under test: every ``snapshot_every`` applied updates the
+server loop atomically rewrites ``snapshot_path`` with its full run
+state, and a run restored from that file continues *bit-identically* to
+the in-process restore path (``restore_state`` handed straight to the
+optimizer). The snapshot is written at the instant update K applies and
+excludes run limits, so the file a SIGKILLed run leaves behind is
+byte-for-byte the file a ``max_updates=K`` run finishes with.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import run_experiment
+from repro.api.parallel import run_key
+from repro.api.runner import prepare_experiment
+from repro.api.spec import ExperimentSpec
+from repro.core.snapshots import (
+    SNAPSHOT_FORMAT,
+    SnapshotWriter,
+    decode_value,
+    encode_value,
+    is_run_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.errors import ApiError, OptimError, SnapshotError
+
+SPEC = {
+    "dataset": "tiny_dense", "algorithm": "asgd", "policy": "sample:0.75",
+    "num_workers": 4, "max_updates": 60, "seed": 3, "delay": "cds:0.6",
+}
+
+ENV = dict(
+    os.environ,
+    PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"),
+)
+
+
+# ---------------------------------------------------------------------------
+# Codec and file format units
+# ---------------------------------------------------------------------------
+
+def test_codec_roundtrips_ndarrays_bit_exact():
+    w = np.array([1.0, -0.25, 1e-300, 3.141592653589793, np.pi * 1e17])
+    state = {"w": w, "nested": {"deque": [w * 2, 7], "t": (1, 2)}}
+    back = decode_value(encode_value(state))
+    assert np.array_equal(back["w"], w)
+    assert back["w"].dtype == w.dtype
+    assert np.array_equal(back["nested"]["deque"][0], w * 2)
+    # ...and survives an actual JSON round-trip, which is what the
+    # snapshot file does.
+    back2 = decode_value(json.loads(json.dumps(encode_value(state))))
+    assert np.array_equal(back2["w"], w)
+
+
+def test_write_snapshot_is_atomic_and_tagged(tmp_path):
+    path = tmp_path / "snap.json"
+    state = {"format": SNAPSHOT_FORMAT, "updates": 3, "w": encode_value(
+        np.arange(4.0))}
+    write_snapshot(path, state)
+    assert read_snapshot(path)["updates"] == 3
+    assert is_run_snapshot(read_snapshot(path))
+    # No temp litter: the tmp file was renamed over the target.
+    assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+    # Overwrite is also atomic (same path, new contents).
+    write_snapshot(path, {**state, "updates": 4})
+    assert read_snapshot(path)["updates"] == 4
+
+
+def test_read_snapshot_rejects_garbage(tmp_path):
+    with pytest.raises(SnapshotError, match="cannot read"):
+        read_snapshot(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{torn")
+    with pytest.raises(SnapshotError, match="not a valid snapshot"):
+        read_snapshot(bad)
+    untagged = tmp_path / "untagged.json"
+    untagged.write_text('{"updates": 3}')
+    with pytest.raises(SnapshotError, match="run-snapshot"):
+        read_snapshot(untagged)
+    assert not is_run_snapshot({"updates": 3})
+    assert not is_run_snapshot(None)
+
+
+def test_snapshot_writer_cadence(tmp_path):
+    writer = SnapshotWriter(tmp_path / "s.json", every=3)
+    assert [u for u in range(10) if writer.due(u)] == [3, 6, 9]
+    writer.write({"format": SNAPSHOT_FORMAT, "k": 1})
+    assert writer.written == 1
+
+
+def test_config_validates_snapshot_fields(tmp_path):
+    with pytest.raises(OptimError, match="snapshot_every"):
+        run_experiment({**SPEC, "snapshot_every": -1,
+                        "snapshot_path": str(tmp_path / "s.json")})
+    with pytest.raises(OptimError, match="both"):
+        run_experiment({**SPEC, "snapshot_every": 10})
+    with pytest.raises(OptimError, match="both"):
+        run_experiment({**SPEC, "snapshot_path": str(tmp_path / "s.json")})
+
+
+def test_sync_algorithms_reject_crash_fields(tmp_path):
+    with pytest.raises(ApiError, match="synchronous"):
+        run_experiment({
+            "algorithm": "sgd", "dataset": "tiny_dense",
+            "num_workers": 2, "max_updates": 4,
+            "snapshot_every": 2, "snapshot_path": str(tmp_path / "s.json"),
+        })
+
+
+def test_unset_crash_fields_keep_spec_keys_stable():
+    # The canonical run key of a spec that never heard of snapshots must
+    # not change — every pre-existing checkpoint line depends on it.
+    spec = ExperimentSpec.coerce(SPEC)
+    data = spec.to_dict()
+    for field_name in ("snapshot_every", "snapshot_path", "restore_from",
+                       "fault_plan"):
+        assert field_name not in data
+    assert run_key(spec) == run_key(ExperimentSpec.coerce(dict(SPEC)))
+
+
+# ---------------------------------------------------------------------------
+# In-process resume parity
+# ---------------------------------------------------------------------------
+
+def test_midrun_snapshot_equals_shorter_runs_final_file(tmp_path):
+    """Snapshots are prefix-invariant: the file a budget-60 run writes at
+    update 40 is byte-identical to a budget-40 run's final file."""
+    long_file = tmp_path / "long.json"
+    short_file = tmp_path / "short.json"
+    run_experiment({**SPEC, "snapshot_every": 40,
+                    "snapshot_path": str(long_file)})
+    run_experiment({**SPEC, "max_updates": 40, "snapshot_every": 40,
+                    "snapshot_path": str(short_file)})
+    assert long_file.read_bytes() == short_file.read_bytes()
+    assert read_snapshot(long_file)["updates"] == 40
+
+
+def test_disk_restore_matches_in_process_restore(tmp_path):
+    snap_file = tmp_path / "snap.json"
+    run_experiment({**SPEC, "snapshot_every": 40,
+                    "snapshot_path": str(snap_file)})
+
+    from_disk = run_experiment({**SPEC, "restore_from": str(snap_file)})
+    again = run_experiment({**SPEC, "restore_from": str(snap_file)})
+    in_process = replace(
+        prepare_experiment(SPEC), restore_state=read_snapshot(snap_file)
+    ).execute()
+
+    assert from_disk.extras["resumed_from_update"] == 40
+    assert from_disk.updates == 60
+    assert np.array_equal(from_disk.w, again.w)          # deterministic
+    assert np.array_equal(from_disk.w, in_process.w)     # same path
+    assert from_disk.updates == in_process.updates
+
+
+def test_restore_rejects_mismatched_run(tmp_path):
+    snap_file = tmp_path / "snap.json"
+    run_experiment({**SPEC, "snapshot_every": 40,
+                    "snapshot_path": str(snap_file)})
+    for wrong in ({"num_workers": 2}, {"seed": 4}, {"algorithm": "asaga"}):
+        with pytest.raises(SnapshotError, match="mismatch"):
+            run_experiment({**SPEC, **wrong,
+                            "restore_from": str(snap_file)})
+
+
+def test_snapshots_written_extra_counts_files(tmp_path):
+    snap_file = tmp_path / "snap.json"
+    result = run_experiment({**SPEC, "snapshot_every": 20,
+                             "snapshot_path": str(snap_file)})
+    assert result.extras["snapshots_written"] == 3  # at 20, 40, 60
+    assert read_snapshot(snap_file)["updates"] == 60
+
+
+# ---------------------------------------------------------------------------
+# SIGKILL at an arbitrary moment: the crash the feature exists for
+# ---------------------------------------------------------------------------
+
+def _kill_after_updates(cmd, snap_file, min_updates, cwd=None):
+    """Run ``cmd``, SIGKILL it once the snapshot shows >= min_updates."""
+    proc = subprocess.Popen(
+        cmd, env=ENV, cwd=cwd,
+        stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 90.0
+    try:
+        while True:
+            assert time.monotonic() < deadline, "snapshot never advanced"
+            assert proc.poll() is None, \
+                "run finished before it could be killed; raise max_updates"
+            try:
+                if read_snapshot(snap_file)["updates"] >= min_updates:
+                    break
+            except SnapshotError:
+                pass  # not written yet, or mid-poll; retry
+            time.sleep(0.01)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10.0)
+
+
+@pytest.mark.parametrize("min_updates", [30, 120])
+def test_sigkill_sim_backend_resumes_bit_identically(tmp_path, min_updates):
+    snap_file = tmp_path / "snap.json"
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps({**SPEC, "max_updates": 2_000_000}))
+    _kill_after_updates(
+        [sys.executable, "-m", "repro", "run", str(spec_file),
+         "--snapshot", str(snap_file), "--snapshot-every", "15"],
+        snap_file, min_updates,
+    )
+    snap = read_snapshot(snap_file)  # atomic replace => never torn
+    k = snap["updates"]
+    assert k >= min_updates and k % 15 == 0
+
+    # The killed run's file is byte-identical to a run budgeted to stop
+    # exactly at K — the snapshot captured a real prefix of the run.
+    ref_file = tmp_path / "ref.json"
+    run_experiment({**SPEC, "max_updates": k, "snapshot_every": k,
+                    "snapshot_path": str(ref_file)})
+    assert snap_file.read_bytes() == ref_file.read_bytes()
+
+    # Resuming the killed run continues exactly like the in-process
+    # restore path continuing the reference run.
+    resumed = run_experiment(
+        {**SPEC, "max_updates": k + 45, "restore_from": str(snap_file)}
+    )
+    in_process = replace(
+        prepare_experiment({**SPEC, "max_updates": k + 45}),
+        restore_state=read_snapshot(ref_file),
+    ).execute()
+    assert resumed.extras["resumed_from_update"] == k
+    assert resumed.updates == k + 45
+    assert np.array_equal(resumed.w, in_process.w)
+
+
+_THREAD_SCRIPT = textwrap.dedent("""
+    import json, sys
+    import repro.api.runner  # populate registries
+    from repro.api.registry import OPTIMIZERS
+    from repro.cluster.threadbackend import ThreadBackend
+    from repro.core.snapshots import read_snapshot
+    from repro.data.synthetic import make_dense_regression
+    from repro.engine.context import ClusterContext
+    from repro.optim import ConstantStep, LeastSquaresProblem, OptimizerConfig
+
+    def run(max_updates, snapshot_every, snapshot_path, restore=None):
+        X, y, _ = make_dense_regression(64, 4, cond=4.0, seed=5)
+        problem = LeastSquaresProblem(X, y)
+        backend = ThreadBackend(num_workers=1)
+        with ClusterContext(1, backend=backend, seed=0) as ctx:
+            points = ctx.matrix(X, y, 2).cache()
+            opt = OPTIMIZERS.get("asgd")(
+                ctx, points, problem, ConstantStep(0.02),
+                OptimizerConfig(
+                    batch_fraction=0.25, max_updates=max_updates, seed=0,
+                    snapshot_every=snapshot_every,
+                    snapshot_path=snapshot_path,
+                ),
+            )
+            if restore is not None:
+                opt.restore_state = read_snapshot(restore)
+            return opt.run()
+
+    if __name__ == "__main__":
+        mode = sys.argv[1]
+        path = sys.argv[2]
+        if mode == "hang":       # killed from outside
+            run(50_000_000, 10, path)
+        elif mode == "ref":      # budget-K reference
+            run(int(sys.argv[3]), int(sys.argv[3]), path)
+        elif mode == "resume":   # continue from a snapshot, print w
+            res = run(int(sys.argv[3]), 0, None, restore=path)
+            print(json.dumps([res.updates, list(map(float, res.w))]))
+""")
+
+
+def test_sigkill_thread_backend_resumes_bit_identically(tmp_path):
+    """Same SIGKILL contract on the real-thread backend (1 worker, the
+    deterministic configuration)."""
+    script = tmp_path / "thread_run.py"
+    script.write_text(_THREAD_SCRIPT)
+    snap_file = tmp_path / "snap.json"
+    _kill_after_updates(
+        [sys.executable, str(script), "hang", str(snap_file)],
+        snap_file, min_updates=40,
+    )
+    k = read_snapshot(snap_file)["updates"]
+    assert k >= 40 and k % 10 == 0
+
+    ref_file = tmp_path / "ref.json"
+    subprocess.run(
+        [sys.executable, str(script), "ref", str(ref_file), str(k)],
+        env=ENV, check=True, stdout=subprocess.DEVNULL,
+    )
+    assert snap_file.read_bytes() == ref_file.read_bytes()
+
+    # Resume twice from the killed run's file: deterministic, and the
+    # continuation really continued (K + 30 applied updates).
+    outs = [
+        subprocess.run(
+            [sys.executable, str(script), "resume", str(snap_file),
+             str(k + 30)],
+            env=ENV, check=True, capture_output=True, text=True,
+        ).stdout
+        for _ in range(2)
+    ]
+    assert outs[0] == outs[1]
+    updates, w = json.loads(outs[0])
+    assert updates == k + 30 and len(w) == 4

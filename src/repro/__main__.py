@@ -110,7 +110,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"snapshotting to {spec.snapshot_path} every "
             f"{spec.snapshot_every} update(s)"
         )
-    summary = summarize(prep, prep.execute())
+    if args.profile is not None:
+        # Profile only the engine (prepare/summarize stay outside): the
+        # stats then answer "where does a run spend its time", which is
+        # what the BENCH_engine numbers track.
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = prep.execute()
+        finally:
+            profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(25)
+        if args.profile:
+            stats.dump_stats(args.profile)
+            print(f"profile stats written to {args.profile}")
+    else:
+        result = prep.execute()
+    summary = summarize(prep, result)
     _print_summary(summary)
     for key, value in sorted(summary["extras"].items()):
         print(f"    {key}: {value}")
@@ -315,6 +335,12 @@ def main(argv: list[str] | None = None) -> int:
         "--restore", metavar="PATH",
         help="resume from a run snapshot: the continued trajectory is "
              "bit-identical to the uninterrupted run",
+    )
+    p_run.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="PATH",
+        help="run under cProfile and print the top functions by "
+             "cumulative time; with PATH, also dump the raw stats there "
+             "for pstats/snakeviz",
     )
     p_run.set_defaults(fn=_cmd_run)
 

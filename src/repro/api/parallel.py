@@ -91,6 +91,31 @@ def clear_shared_cache() -> None:
                    problem_key=None, problem=None)
 
 
+def _load_dataset(spec: ExperimentSpec):
+    """Materialize a cell's dataset, attaching shared memory when offered.
+
+    If the sweep driver published this dataset group (``run_cells`` with
+    ``share_data``, or a fabric coordinator exporting manifests to its
+    local workers), attach the one host-wide copy zero-copy; otherwise —
+    or if the segments are already unlinked — build it locally exactly
+    as before. Either way the result is bit-identical: publication
+    copies out of the same deterministic materialization.
+    """
+    from repro.data import shm as data_shm
+    from repro.data.registry import get_dataset
+    from repro.errors import DataError
+
+    manifest = data_shm.active_manifest_for(
+        data_shm.dataset_shm_key(spec.dataset, spec.seed)
+    )
+    if manifest is not None:
+        try:
+            return data_shm.attach_dataset(manifest)
+        except DataError:
+            pass
+    return get_dataset(spec.dataset, seed=spec.seed)
+
+
 def prepare_shared(spec: ExperimentSpec | Mapping[str, Any]):
     """``prepare_experiment`` with the per-process shared-component cache.
 
@@ -99,13 +124,12 @@ def prepare_shared(spec: ExperimentSpec | Mapping[str, Any]):
     guarantees grouping — reuse one dataset and one solved optimum.
     """
     from repro.api.runner import component_key, prepare_experiment
-    from repro.data.registry import get_dataset
 
     spec = ExperimentSpec.coerce(spec)
     dataset_key = (component_key(spec.dataset), spec.seed)
     if dataset_key != _SHARED["dataset_key"]:
         _SHARED["dataset_key"] = dataset_key
-        _SHARED["dataset"] = get_dataset(spec.dataset, seed=spec.seed)
+        _SHARED["dataset"] = _load_dataset(spec)
         _SHARED["problem_key"] = None
         _SHARED["problem"] = None
     problem_key = (*dataset_key, component_key(spec.problem))
@@ -145,7 +169,16 @@ def resolve_runner(name: str) -> Callable[[Mapping[str, Any]], Any]:
     )
 
 
-def _execute_cell(runner: str, index: int, spec_dict: Mapping[str, Any]):
+def _execute_cell(
+    runner: str,
+    index: int,
+    spec_dict: Mapping[str, Any],
+    manifests: list[dict] | None = None,
+):
+    if manifests:
+        from repro.data import shm as data_shm
+
+        data_shm.set_active_manifests(manifests)
     return index, resolve_runner(runner)(spec_dict)
 
 
@@ -166,6 +199,7 @@ def run_cells(
     jobs: int = 1,
     on_result: Callable[[int, Any], None] | None = None,
     executor: ProcessPoolExecutor | None = None,
+    share_data: bool = True,
 ) -> list[Any]:
     """Execute independent experiment cells; results in *input* order.
 
@@ -179,6 +213,12 @@ def run_cells(
     worker count overrides ``jobs``); the caller keeps ownership — the
     pool is *not* shut down here, so batch after batch reuses the same
     warm workers (and their per-process dataset/problem caches).
+
+    ``share_data`` (pool paths only) publishes each distinct dataset
+    group into shared memory once before submitting, so the N pool
+    workers map one physical copy per group instead of materializing N.
+    Segments are unlinked when the batch finishes; hosts without working
+    shared memory silently fall back to per-worker materialization.
     """
     specs = [ExperimentSpec.coerce(s) for s in specs]
     jobs = executor._max_workers if executor is not None else resolve_jobs(jobs)
@@ -203,9 +243,31 @@ def run_cells(
             clear_shared_cache()
         return results
 
+    # Publish each distinct dataset group once so pool workers attach one
+    # host-wide copy instead of materializing their own (run_grid over a
+    # shared dataset then costs ~one dataset of RSS per host, not per job).
+    publications: list[Any] = []
+    manifests: list[dict] = []
+    if share_data:
+        from repro.data import shm as data_shm
+
+        seen: set[str] = set()
+        for i in order:
+            key = data_shm.dataset_shm_key(specs[i].dataset, specs[i].seed)
+            if key in seen:
+                continue
+            seen.add(key)
+            pub = data_shm.publish_dataset(specs[i].dataset, specs[i].seed)
+            if pub is not None:
+                publications.append(pub)
+                manifests.append(pub.manifest)
+
     def drain(pool: ProcessPoolExecutor) -> None:
         futures = [
-            pool.submit(_execute_cell, runner, i, specs[i].to_dict())
+            pool.submit(
+                _execute_cell, runner, i, specs[i].to_dict(),
+                manifests or None,
+            )
             for i in order
         ]
         failure: BaseException | None = None
@@ -227,11 +289,17 @@ def run_cells(
         if failure is not None:
             raise failure
 
-    if executor is not None:
-        drain(executor)
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            drain(pool)
+    try:
+        if executor is not None:
+            drain(executor)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(specs))
+            ) as pool:
+                drain(pool)
+    finally:
+        for pub in publications:
+            pub.unlink()
     return results
 
 

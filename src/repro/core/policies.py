@@ -402,17 +402,19 @@ class PartitionCompletionFilter(SchedulingPolicy):
         if median <= 0:
             return admitted
         cutoff = self.ratio * median
-        out = []
-        for t in admitted:
-            if t.kind != "partition":
-                out.append(t)
-                continue
-            row = stat.partitions.get(t.id)
-            if row is None or row.tasks_completed == 0 or (
-                row.avg_completion_ms <= cutoff
-            ):
-                out.append(t)
-        return out
+        # One masked reduction over the partition columns; a partition is
+        # withheld iff its row exists, has history, and exceeds the cutoff
+        # (exactly the per-row test the loop form applied).
+        cols = stat.partition_arrays()
+        withheld = set(cols.ids[
+            (cols.tasks_completed > 0) & (cols.avg_completion_ms > cutoff)
+        ].tolist())
+        if not withheld:
+            return admitted
+        return [
+            t for t in admitted
+            if t.kind != "partition" or t.id not in withheld
+        ]
 
     def describe(self) -> str:
         return f"PartitionCompletionFilter(ratio={self.ratio})"
@@ -585,38 +587,38 @@ class MigrateSlow(SchedulingPolicy):
 
     def place(self, stat: StatTable) -> dict[int, int]:
         self._round += 1
-        seasoned = [
-            w for w in stat
-            if w.alive and w.tasks_completed >= self.min_history
-        ]
+        wa = stat.worker_arrays()
+        seasoned = np.flatnonzero(
+            wa.alive & (wa.tasks_completed >= self.min_history)
+        )
         if len(seasoned) < 2 or not stat.partitions:
             return {}
-        avgs = np.array([w.avg_completion_ms for w in seasoned])
+        avgs = wa.avg_completion_ms[seasoned]
         if self.percentile is not None:
             cutoff = float(np.percentile(avgs, self.percentile))
         else:
             cutoff = float(self.threshold) * float(np.median(avgs))
-        slow = {w.worker_id for w, a in zip(seasoned, avgs) if a > cutoff}
-        if not slow:
+        slow = seasoned[avgs > cutoff]
+        if slow.size == 0:
             return {}
-        fast = [w for w in seasoned if w.worker_id not in slow]
-        if not fast:
+        fast = seasoned[avgs <= cutoff]
+        if fast.size == 0:
             return {}
-        dest = min(fast, key=lambda w: (w.avg_completion_ms, w.worker_id))
+        fast_avgs = avgs[avgs <= cutoff]
+        # min over (avg_completion_ms, worker_id): lexsort keys are
+        # listed minor-to-major, so ids break average ties.
+        dest = int(fast[np.lexsort((fast, fast_avgs))[0]])
+        pa = stat.partition_arrays()
+        heat = np.flatnonzero(np.isin(pa.owner, slow) & (pa.tasks_completed > 0))
         hot = sorted(
             (
-                row for row in stat.partition_rows()
-                if row.owner in slow
-                and row.tasks_completed > 0
-                and self._round - self._moved_at.get(row.partition_id, -10**9)
+                (-float(pa.avg_completion_ms[i]), int(pa.ids[i]))
+                for i in heat.tolist()
+                if self._round - self._moved_at.get(int(pa.ids[i]), -10**9)
                 > self.cooldown
             ),
-            key=lambda row: (-row.avg_completion_ms, row.partition_id),
         )
-        moves = {
-            row.partition_id: dest.worker_id
-            for row in hot[: self.max_moves]
-        }
+        moves = {pid: dest for _, pid in hot[: self.max_moves]}
         for p in moves:
             self._moved_at[p] = self._round
         return moves

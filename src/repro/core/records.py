@@ -5,16 +5,30 @@ result's staleness, its mini-batch size and the result itself — plus the
 timing data our metrics layer consumes. :class:`WorkerStatus` is one row
 of the ``STAT`` table: the worker's most recent status, its availability
 and its average-task-completion time.
+
+The STAT table stores its rows columnar (parallel numpy arrays, see
+:mod:`repro.core.stat`); ``WorkerStatus`` and ``PartitionStatus`` are
+thin row *views* over those columns. Every read returns plain Python
+scalars and every write lands directly in the backing array, so the
+coordinator's per-task hooks and the policies' array reductions observe
+the same state with no synchronization step.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
-from repro.utils.stats import OnlineMean
+__all__ = [
+    "TaskResultRecord",
+    "WorkerStatus",
+    "PartitionStatus",
+    "EWMA_ALPHA",
+]
 
-__all__ = ["TaskResultRecord", "WorkerStatus", "PartitionStatus"]
+#: Smoothing factor for the per-row completion-time EWMA column (matches
+#: :class:`repro.utils.stats.ExponentialMovingAverage`'s default).
+EWMA_ALPHA = 0.2
 
 
 @dataclass
@@ -55,7 +69,52 @@ class TaskResultRecord:
         return self.delivered_ms - self.submitted_ms
 
 
-@dataclass
+class CompletionView:
+    """An :class:`~repro.utils.stats.OnlineMean`-compatible handle over one
+    row's completion columns.
+
+    ``add`` replays the running-mean update with the exact operation
+    order of ``OnlineMean.add`` (``count += 1; mean += (x - mean)/count``
+    in float64), so columnar rows produce bit-identical averages, and
+    additionally maintains the row's completion-time EWMA column.
+    """
+
+    __slots__ = ("_cols", "_i")
+
+    def __init__(self, cols, index: int) -> None:
+        self._cols = cols
+        self._i = index
+
+    @property
+    def count(self) -> int:
+        return int(self._cols.comp_count[self._i])
+
+    @property
+    def mean(self) -> float:
+        return float(self._cols.comp_mean[self._i])
+
+    @property
+    def value(self) -> float:
+        """The mean so far (0.0 before any observation)."""
+        return self.mean if self.count else 0.0
+
+    def add(self, x: float) -> None:
+        cols, i = self._cols, self._i
+        x = float(x)
+        n = int(cols.comp_count[i]) + 1
+        cols.comp_count[i] = n
+        m = float(cols.comp_mean[i])
+        cols.comp_mean[i] = m + (x - m) / n
+        if n == 1:
+            cols.comp_ewma[i] = x
+        else:
+            e = float(cols.comp_ewma[i])
+            cols.comp_ewma[i] = e + EWMA_ALPHA * (x - e)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CompletionView(count={self.count}, mean={self.mean})"
+
+
 class TaskTrackingStatus:
     """Shared task-lifecycle bookkeeping for one STAT row.
 
@@ -64,38 +123,103 @@ class TaskTrackingStatus:
     oldest in-flight model version (staleness is pessimistic), the last
     observed staleness, and completion statistics. The coordinator
     drives rows of either grain through the three ``note_*`` hooks.
+
+    A row is a view of index ``index`` into a column store: attribute
+    reads and writes go straight to the backing arrays. The store uses
+    ``-1`` as the "no in-flight version" sentinel for
+    ``computing_version``; the view translates it to/from ``None`` so
+    user-side predicates keep the optional-int contract.
     """
 
-    in_flight: int = field(default=0, kw_only=True)
-    computing_version: int | None = field(default=None, kw_only=True)
-    last_staleness: int = field(default=0, kw_only=True)
-    tasks_completed: int = field(default=0, kw_only=True)
-    last_delivered_ms: float = field(default=0.0, kw_only=True)
-    completion: OnlineMean = field(default_factory=OnlineMean, kw_only=True)
+    __slots__ = ("_cols", "_i")
+
+    def __init__(self, cols, index: int) -> None:
+        self._cols = cols
+        self._i = index
+
+    # -- column-backed attributes ------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return int(self._cols.in_flight[self._i])
+
+    @in_flight.setter
+    def in_flight(self, value: int) -> None:
+        self._cols.in_flight[self._i] = value
+
+    @property
+    def computing_version(self) -> int | None:
+        cv = int(self._cols.computing_version[self._i])
+        return None if cv < 0 else cv
+
+    @computing_version.setter
+    def computing_version(self, value: int | None) -> None:
+        self._cols.computing_version[self._i] = -1 if value is None else value
+
+    @property
+    def last_staleness(self) -> int:
+        return int(self._cols.last_staleness[self._i])
+
+    @last_staleness.setter
+    def last_staleness(self, value: int) -> None:
+        self._cols.last_staleness[self._i] = value
+
+    @property
+    def tasks_completed(self) -> int:
+        return int(self._cols.tasks_completed[self._i])
+
+    @tasks_completed.setter
+    def tasks_completed(self, value: int) -> None:
+        self._cols.tasks_completed[self._i] = value
+
+    @property
+    def last_delivered_ms(self) -> float:
+        return float(self._cols.last_delivered_ms[self._i])
+
+    @last_delivered_ms.setter
+    def last_delivered_ms(self, value: float) -> None:
+        self._cols.last_delivered_ms[self._i] = value
+
+    @property
+    def completion(self) -> CompletionView:
+        return CompletionView(self._cols, self._i)
 
     @property
     def avg_completion_ms(self) -> float:
         """Average task turnaround (assignment to result submission)."""
-        return self.completion.value
+        if not self._cols.comp_count[self._i]:
+            return 0.0
+        return float(self._cols.comp_mean[self._i])
 
+    @property
+    def ewma_completion_ms(self) -> float:
+        """Exponentially-weighted completion time (0.0 before history)."""
+        if not self._cols.comp_count[self._i]:
+            return 0.0
+        return float(self._cols.comp_ewma[self._i])
+
+    # -- coordinator hooks -------------------------------------------------------
     def note_assigned(self, version: int) -> None:
         """A task computing at ``version`` was dispatched to this row."""
-        self.in_flight += 1
-        if self.computing_version is None:
-            self.computing_version = version
+        cols, i = self._cols, self._i
+        cols.in_flight[i] += 1
+        if cols.computing_version[i] < 0:
+            cols.computing_version[i] = version
 
     def note_done(self) -> None:
         """A task of this row finished (successfully or not)."""
-        self.in_flight = max(self.in_flight - 1, 0)
-        if self.in_flight == 0:
-            self.computing_version = None
+        cols, i = self._cols, self._i
+        n = max(int(cols.in_flight[i]) - 1, 0)
+        cols.in_flight[i] = n
+        if n == 0:
+            cols.computing_version[i] = -1
 
     def note_completion(self, staleness: int, submitted_ms: float,
                         delivered_ms: float) -> None:
         """Record a successful result's staleness and timing."""
-        self.last_staleness = staleness
-        self.tasks_completed += 1
-        self.last_delivered_ms = delivered_ms
+        cols, i = self._cols, self._i
+        cols.last_staleness[i] = staleness
+        cols.tasks_completed[i] += 1
+        cols.last_delivered_ms[i] = delivered_ms
         self.completion.add(delivered_ms - submitted_ms)
 
     def _tracking_snapshot(self) -> dict:
@@ -108,13 +232,30 @@ class TaskTrackingStatus:
         }
 
 
-@dataclass
 class WorkerStatus(TaskTrackingStatus):
-    """One worker's row in the STAT table."""
+    """One worker's row in the STAT table (a view; worker_id == index)."""
 
-    worker_id: int
-    alive: bool = True
-    available: bool = True
+    __slots__ = ()
+
+    @property
+    def worker_id(self) -> int:
+        return self._i
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._cols.alive[self._i])
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        self._cols.alive[self._i] = value
+
+    @property
+    def available(self) -> bool:
+        return bool(self._cols.available[self._i])
+
+    @available.setter
+    def available(self, value: bool) -> None:
+        self._cols.available[self._i] = value
 
     def snapshot(self) -> dict:
         """A plain-dict view for user-side barrier predicates / logging."""
@@ -125,8 +266,10 @@ class WorkerStatus(TaskTrackingStatus):
             **self._tracking_snapshot(),
         }
 
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WorkerStatus({self.snapshot()!r})"
 
-@dataclass
+
 class PartitionStatus(TaskTrackingStatus):
     """One data partition's row in the STAT table.
 
@@ -137,8 +280,19 @@ class PartitionStatus(TaskTrackingStatus):
     ``owner`` is the worker the partition's tasks ran on most recently.
     """
 
-    partition_id: int
-    owner: int = -1
+    __slots__ = ()
+
+    @property
+    def partition_id(self) -> int:
+        return int(self._cols.ids[self._i])
+
+    @property
+    def owner(self) -> int:
+        return int(self._cols.owner[self._i])
+
+    @owner.setter
+    def owner(self, value: int) -> None:
+        self._cols.owner[self._i] = value
 
     def snapshot(self) -> dict:
         """A plain-dict view (the per-partition analog of WorkerStatus)."""
@@ -147,3 +301,6 @@ class PartitionStatus(TaskTrackingStatus):
             "owner": self.owner,
             **self._tracking_snapshot(),
         }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PartitionStatus({self.snapshot()!r})"

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
+import numpy as np
+
 from repro.cluster.backend import TaskMetrics, WorkerEnv
 from repro.core.policies import SchedulingPolicy, Target, as_policy
 from repro.errors import SchedulerError
@@ -47,6 +49,27 @@ class AsyncScheduler:
         self.tasks_submitted = 0
         #: Subset of ``tasks_submitted`` that carried partition identity.
         self.partition_tasks_submitted = 0
+        # The context's locality rule is static for the scheduler's
+        # lifetime, so its partition -> worker map is computed once and
+        # only the (usually tiny) placement overlay varies per round.
+        self._base_owners: np.ndarray | None = None
+
+    def _owners(self, num_partitions: int, default_owner) -> np.ndarray:
+        """Current partition -> worker map as an int array (overlay applied)."""
+        if self._base_owners is None or len(self._base_owners) != num_partitions:
+            self._base_owners = np.fromiter(
+                (default_owner(p) for p in range(num_partitions)),
+                dtype=np.int64,
+                count=num_partitions,
+            )
+        placement = self.ac.coordinator.placement
+        if not placement:
+            return self._base_owners
+        owners = self._base_owners.copy()
+        for p, w in placement.items():
+            if 0 <= p < num_partitions:
+                owners[p] = w
+        return owners
 
     @property
     def migrations(self) -> int:
@@ -122,14 +145,12 @@ class AsyncScheduler:
             # 2. Candidates: alive workers holding data (under the current
             # placement), in worker-id order; availability filtering is
             # the policy's job (the default select admits available ones).
+            owners = self._owners(rdd.num_partitions, ac.ctx.owner_of)
             assigned: dict[int, list[int]] = {}
-            for p in range(rdd.num_partitions):
-                assigned.setdefault(
-                    coordinator.owner_of(p, ac.ctx.owner_of), []
-                ).append(p)
-            owner_workers = [
-                w for w in sorted(assigned) if backend.worker_env(w).alive
-            ]
+            for w in np.unique(owners).tolist():
+                if backend.worker_env(w).alive:
+                    assigned[w] = np.flatnonzero(owners == w).tolist()
+            owner_workers = list(assigned)  # np.unique is sorted
             if granularity == "worker":
                 candidates = [Target("worker", w, w) for w in owner_workers]
             else:

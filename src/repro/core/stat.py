@@ -1,28 +1,133 @@
-"""The STAT table (Section 4.1).
+"""The STAT table (Section 4.1), stored columnar.
 
 Per-worker status — staleness, average-task-completion time, availability
 — plus the aggregates the paper calls out: the number of available workers
 and the maximum overall worker staleness. Barrier-control policies are
 functions of this table; Listing 2's predicates all read it.
 
+The table keeps its state in parallel numpy arrays (one column per
+field, one position per row), so the hot-path aggregates —
+``max_staleness``, ``num_available``, ``available_workers``,
+``median_partition_completion_ms`` — are single array reductions rather
+than Python loops over row objects. :class:`~repro.core.records.WorkerStatus`
+and :class:`~repro.core.records.PartitionStatus` remain the public row
+types, but as thin views whose attribute access lands directly in the
+columns; the coordinator's per-task ``note_*`` hooks are unchanged.
+
 When tasks are submitted at partition granularity, the table additionally
-keeps one :class:`~repro.core.records.PartitionStatus` row per partition
-(created lazily on first dispatch), so staleness and completion
-statistics exist at the grain Hogwild-style and federated update rules
-operate on. Partition rows are a refinement, not a replacement: every
-partition-granular task updates both its worker row and its partition
-row, and the per-partition counters aggregate back to the per-worker
-values.
+keeps one partition row per partition (created lazily on first dispatch),
+so staleness and completion statistics exist at the grain Hogwild-style
+and federated update rules operate on. Partition rows are a refinement,
+not a replacement: every partition-granular task updates both its worker
+row and its partition row, and the per-partition counters aggregate back
+to the per-worker values.
+
+Floating-point parity with the previous object-per-row table is exact:
+the completion mean replays ``OnlineMean``'s update order in float64,
+``mean_completion_ms`` uses :func:`math.fsum` (what ``statistics.fmean``
+computes), and ``numpy``'s median of float64 values matches
+``statistics.median`` bitwise (both average the two middle elements).
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import Iterator
+import math
+from typing import Iterator, NamedTuple
+
+import numpy as np
 
 from repro.core.records import PartitionStatus, WorkerStatus
 
-__all__ = ["StatTable"]
+__all__ = ["StatTable", "WorkerArrays", "PartitionArrays"]
+
+
+class _WorkerColumns:
+    """Fixed-size parallel arrays backing the per-worker rows."""
+
+    __slots__ = (
+        "alive", "available", "in_flight", "computing_version",
+        "last_staleness", "tasks_completed", "last_delivered_ms",
+        "comp_count", "comp_mean", "comp_ewma",
+    )
+
+    def __init__(self, num_workers: int) -> None:
+        self.alive = np.ones(num_workers, dtype=bool)
+        self.available = np.ones(num_workers, dtype=bool)
+        self.in_flight = np.zeros(num_workers, dtype=np.int64)
+        self.computing_version = np.full(num_workers, -1, dtype=np.int64)
+        self.last_staleness = np.zeros(num_workers, dtype=np.int64)
+        self.tasks_completed = np.zeros(num_workers, dtype=np.int64)
+        self.last_delivered_ms = np.zeros(num_workers, dtype=np.float64)
+        self.comp_count = np.zeros(num_workers, dtype=np.int64)
+        self.comp_mean = np.zeros(num_workers, dtype=np.float64)
+        self.comp_ewma = np.zeros(num_workers, dtype=np.float64)
+
+
+class _PartitionColumns:
+    """Growable parallel arrays backing the per-partition rows.
+
+    Rows are appended on first dispatch of a partition; capacity doubles
+    on overflow. Row views hold a reference to this store (not to the
+    arrays), so reallocation on growth is transparent to them.
+    """
+
+    __slots__ = (
+        "size", "ids", "owner", "in_flight", "computing_version",
+        "last_staleness", "tasks_completed", "last_delivered_ms",
+        "comp_count", "comp_mean", "comp_ewma",
+    )
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.size = 0
+        self.ids = np.zeros(capacity, dtype=np.int64)
+        self.owner = np.full(capacity, -1, dtype=np.int64)
+        self.in_flight = np.zeros(capacity, dtype=np.int64)
+        self.computing_version = np.full(capacity, -1, dtype=np.int64)
+        self.last_staleness = np.zeros(capacity, dtype=np.int64)
+        self.tasks_completed = np.zeros(capacity, dtype=np.int64)
+        self.last_delivered_ms = np.zeros(capacity, dtype=np.float64)
+        self.comp_count = np.zeros(capacity, dtype=np.int64)
+        self.comp_mean = np.zeros(capacity, dtype=np.float64)
+        self.comp_ewma = np.zeros(capacity, dtype=np.float64)
+
+    def append(self, partition_id: int) -> int:
+        if self.size == len(self.ids):
+            for name in self.__slots__:
+                if name == "size":
+                    continue
+                old = getattr(self, name)
+                grown = np.zeros(len(old) * 2, dtype=old.dtype)
+                grown[: len(old)] = old
+                if name in ("owner", "computing_version"):
+                    grown[len(old):] = -1
+                setattr(self, name, grown)
+        idx = self.size
+        self.ids[idx] = partition_id
+        self.owner[idx] = -1
+        self.size += 1
+        return idx
+
+
+class WorkerArrays(NamedTuple):
+    """Read-only column slices for vectorized policy predicates."""
+
+    alive: np.ndarray
+    available: np.ndarray
+    in_flight: np.ndarray
+    tasks_completed: np.ndarray
+    avg_completion_ms: np.ndarray
+    ewma_completion_ms: np.ndarray
+
+
+class PartitionArrays(NamedTuple):
+    """Read-only column slices (appearance order) for vectorized policies."""
+
+    ids: np.ndarray
+    owner: np.ndarray
+    in_flight: np.ndarray
+    tasks_completed: np.ndarray
+    avg_completion_ms: np.ndarray
+    ewma_completion_ms: np.ndarray
 
 
 class StatTable:
@@ -31,7 +136,9 @@ class StatTable:
     def __init__(self, num_workers: int) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
-        self.workers = [WorkerStatus(w) for w in range(num_workers)]
+        self._wcols = _WorkerColumns(num_workers)
+        self.workers = [WorkerStatus(self._wcols, w) for w in range(num_workers)]
+        self._pcols = _PartitionColumns()
         #: Per-partition rows, keyed by partition id; populated lazily by
         #: the coordinator when tasks carry partition identity.
         self.partitions: dict[int, PartitionStatus] = {}
@@ -52,20 +159,21 @@ class StatTable:
     # -- aggregates (the paper's server-side bookkeeping) -------------------------
     @property
     def num_alive(self) -> int:
-        return sum(1 for w in self.workers if w.alive)
+        return int(np.count_nonzero(self._wcols.alive))
 
     @property
     def num_available(self) -> int:
         """Workers that are alive and not executing a task."""
-        return sum(1 for w in self.workers if w.alive and w.available)
+        c = self._wcols
+        return int(np.count_nonzero(c.alive & c.available))
 
     def available_workers(self) -> list[int]:
-        return [w.worker_id for w in self.workers if w.alive and w.available]
+        c = self._wcols
+        return np.flatnonzero(c.alive & c.available).tolist()
 
     def busy_workers(self) -> list[int]:
-        return [
-            w.worker_id for w in self.workers if w.alive and not w.available
-        ]
+        c = self._wcols
+        return np.flatnonzero(c.alive & ~c.available).tolist()
 
     @property
     def max_staleness(self) -> int:
@@ -75,18 +183,34 @@ class StatTable:
         is at version ``k`` is ``k - v`` updates stale. Idle workers do not
         contribute.
         """
-        worst = 0
-        for w in self.workers:
-            if w.alive and not w.available and w.computing_version is not None:
-                worst = max(worst, self.current_version - w.computing_version)
-        return worst
+        c = self._wcols
+        mask = c.alive & ~c.available & (c.computing_version >= 0)
+        stale = self.current_version - c.computing_version[mask]
+        return int(stale.max(initial=0))
 
     def staleness_of(self, worker_id: int) -> int:
         """Current staleness of a worker's in-flight task (0 if idle)."""
-        w = self.workers[worker_id]
-        if w.available or w.computing_version is None:
+        c = self._wcols
+        if c.available[worker_id] or c.computing_version[worker_id] < 0:
             return 0
-        return self.current_version - w.computing_version
+        return self.current_version - int(c.computing_version[worker_id])
+
+    def worker_arrays(self) -> WorkerArrays:
+        """Column slices for vectorized policies (treat as read-only).
+
+        ``avg_completion_ms`` mirrors the row property: 0.0 for workers
+        with no completion history, the running mean otherwise.
+        """
+        c = self._wcols
+        has = c.comp_count > 0
+        return WorkerArrays(
+            alive=c.alive,
+            available=c.available,
+            in_flight=c.in_flight,
+            tasks_completed=c.tasks_completed,
+            avg_completion_ms=np.where(has, c.comp_mean, 0.0),
+            ewma_completion_ms=np.where(has, c.comp_ewma, 0.0),
+        )
 
     # -- partition rows (partition-granular dispatch) -----------------------------
     def partition_row(
@@ -99,7 +223,8 @@ class StatTable:
         """
         row = self.partitions.get(partition_id)
         if row is None:
-            row = PartitionStatus(partition_id)
+            index = self._pcols.append(partition_id)
+            row = PartitionStatus(self._pcols, index)
             self.partitions[partition_id] = row
         if owner is not None:
             row.owner = owner
@@ -112,14 +237,33 @@ class StatTable:
             return rows
         return [row for row in rows if row.owner == worker_id]
 
+    def partition_arrays(self) -> PartitionArrays:
+        """Column slices over the live partition rows (treat as read-only).
+
+        Rows appear in creation (first-dispatch) order, not sorted by
+        partition id; use ``ids`` to key the values.
+        """
+        c = self._pcols
+        n = c.size
+        has = c.comp_count[:n] > 0
+        return PartitionArrays(
+            ids=c.ids[:n],
+            owner=c.owner[:n],
+            in_flight=c.in_flight[:n],
+            tasks_completed=c.tasks_completed[:n],
+            avg_completion_ms=np.where(has, c.comp_mean[:n], 0.0),
+            ewma_completion_ms=np.where(has, c.comp_ewma[:n], 0.0),
+        )
+
     @property
     def max_partition_staleness(self) -> int:
         """Maximum staleness of any in-flight partition-granular task."""
-        worst = 0
-        for row in self.partitions.values():
-            if row.in_flight > 0 and row.computing_version is not None:
-                worst = max(worst, self.current_version - row.computing_version)
-        return worst
+        c = self._pcols
+        n = c.size
+        cv = c.computing_version[:n]
+        mask = (c.in_flight[:n] > 0) & (cv >= 0)
+        stale = self.current_version - cv[mask]
+        return int(stale.max(initial=0))
 
     def partition_staleness_of(self, partition_id: int) -> int:
         """Current staleness of a partition's in-flight task (0 if idle)."""
@@ -140,28 +284,30 @@ class StatTable:
         skew the threshold per-partition completion filters compare
         against.
         """
-        vals = [
-            row.avg_completion_ms
-            for row in self.partitions.values()
-            if row.tasks_completed > 0
-        ]
-        return statistics.median(vals) if vals else 0.0
+        c = self._pcols
+        n = c.size
+        mask = c.tasks_completed[:n] > 0
+        if not mask.any():
+            return 0.0
+        vals = np.where(c.comp_count[:n] > 0, c.comp_mean[:n], 0.0)[mask]
+        return float(np.median(vals))
 
     def mean_completion_ms(self) -> float:
-        vals = [
-            w.avg_completion_ms
-            for w in self.workers
-            if w.alive and w.tasks_completed > 0
-        ]
-        return statistics.fmean(vals) if vals else 0.0
+        c = self._wcols
+        mask = c.alive & (c.tasks_completed > 0)
+        if not mask.any():
+            return 0.0
+        vals = np.where(c.comp_count > 0, c.comp_mean, 0.0)[mask]
+        # math.fsum(...)/n is exactly what statistics.fmean computes.
+        return math.fsum(vals.tolist()) / len(vals)
 
     def median_completion_ms(self) -> float:
-        vals = [
-            w.avg_completion_ms
-            for w in self.workers
-            if w.alive and w.tasks_completed > 0
-        ]
-        return statistics.median(vals) if vals else 0.0
+        c = self._wcols
+        mask = c.alive & (c.tasks_completed > 0)
+        if not mask.any():
+            return 0.0
+        vals = np.where(c.comp_count > 0, c.comp_mean, 0.0)[mask]
+        return float(np.median(vals))
 
     def snapshot(self) -> list[dict]:
         """Plain-data view of the whole table (the user-facing AC.STAT)."""

@@ -124,6 +124,12 @@ def split_matrix(
 
     Blocks sizes differ by at most one row (numpy ``array_split``
     convention). CSR inputs stay CSR; anything sparse is converted to CSR.
+
+    Blocks are *views* of the parent storage, never copies: dense slices
+    alias ``X`` directly, and CSR blocks are rebuilt around slices of the
+    parent's ``data``/``indices``/``indptr`` (fancy indexing ``X[lo:hi]``
+    would copy every nonzero). This is what keeps shared-memory datasets
+    (:mod:`repro.data.shm`) one physical copy per host after splitting.
     """
     if num_blocks <= 0:
         raise DataError("num_blocks must be positive")
@@ -138,8 +144,17 @@ def split_matrix(
     blocks = []
     for i in range(num_blocks):
         lo, hi = int(bounds[i]), int(bounds[i + 1])
+        if sparse.issparse(X):
+            indptr = X.indptr
+            s, e = int(indptr[lo]), int(indptr[hi])
+            Xb = sparse.csr_matrix(
+                (X.data[s:e], X.indices[s:e], indptr[lo : hi + 1] - indptr[lo]),
+                shape=(hi - lo, X.shape[1]),
+                copy=False,
+            )
+        else:
+            Xb = X[lo:hi]
         blocks.append(
-            MatrixBlock(X=X[lo:hi], y=np.asarray(y[lo:hi]), offset=lo,
-                        block_id=i)
+            MatrixBlock(X=Xb, y=np.asarray(y[lo:hi]), offset=lo, block_id=i)
         )
     return blocks

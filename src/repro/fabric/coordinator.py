@@ -505,6 +505,36 @@ def parse_fabric(fabric) -> FabricOptions:
     )
 
 
+def _publish_cell_datasets(
+    cells: Sequence[tuple[int, str, Mapping[str, Any]]],
+) -> tuple[list[Any], list[dict]]:
+    """Publish each distinct dataset group in ``cells`` to shared memory.
+
+    Returns ``(publications, manifests)``; both are empty when shared
+    memory is unavailable (workers then materialize their own copies,
+    the pre-shm behavior). Publication order follows first appearance.
+    """
+    from repro.data import shm as data_shm
+
+    publications: list[Any] = []
+    manifests: list[dict] = []
+    seen: set[str] = set()
+    for _index, _key, spec_dict in cells:
+        dataset = spec_dict.get("dataset")
+        seed = int(spec_dict.get("seed", 0))
+        if dataset is None:
+            continue
+        shm_key = data_shm.dataset_shm_key(dataset, seed)
+        if shm_key in seen:
+            continue
+        seen.add(shm_key)
+        pub = data_shm.publish_dataset(dataset, seed)
+        if pub is not None:
+            publications.append(pub)
+            manifests.append(pub.manifest)
+    return publications, manifests
+
+
 def run_fabric_cells(
     cells: Sequence[tuple[int, str, Mapping[str, Any]]],
     *,
@@ -557,12 +587,30 @@ def run_fabric_cells(
             sigterm_installed = True
         except ValueError:
             pass  # not the main thread; drain() is still callable directly
+    publications: list[Any] = []
     try:
         if announce is not None:
             announce(coordinator.endpoint)
         if options.local_workers:
+            extra_env = None
+            # Same-host workers can map one shared-memory copy of each
+            # distinct dataset group instead of materializing their own;
+            # the manifests travel in the child environment. Remote
+            # workers joining the endpoint are unaffected — they never
+            # see the manifests and materialize locally as always.
+            publications, manifests = _publish_cell_datasets(cells)
+            if manifests:
+                from repro.data.shm import MANIFEST_ENV
+
+                extra_env = {
+                    MANIFEST_ENV: json.dumps(
+                        manifests, separators=(",", ":")
+                    )
+                }
             workers = spawn_local_workers(
-                coordinator.endpoint, options.local_workers
+                coordinator.endpoint,
+                options.local_workers,
+                extra_env=extra_env,
             )
         return coordinator.wait(timeout)
     finally:
@@ -577,3 +625,5 @@ def run_fabric_cells(
                 proc.wait(timeout=5.0)
             except Exception:
                 proc.kill()
+        for pub in publications:
+            pub.unlink()

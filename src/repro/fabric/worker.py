@@ -34,7 +34,7 @@ import sys
 import threading
 import time
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from repro.errors import FabricError, ProtocolError, ReproError
 from repro.fabric.chaos import ChaosConfig, ChaosLink
@@ -293,13 +293,19 @@ class SweepWorker:
 
 
 def spawn_local_workers(
-    endpoint: str, count: int, *, quiet: bool = True
+    endpoint: str,
+    count: int,
+    *,
+    quiet: bool = True,
+    extra_env: Mapping[str, str] | None = None,
 ) -> list[subprocess.Popen]:
     """Start ``count`` ``sweep-worker`` subprocesses against ``endpoint``.
 
     The child environment gets this package's source root prepended to
     ``PYTHONPATH`` so the workers import the same ``repro`` the caller
-    is running, however the caller arranged its path.
+    is running, however the caller arranged its path. ``extra_env`` adds
+    variables on top (e.g. ``REPRO_SHM_MANIFESTS`` pointing workers at
+    the coordinator's published shared-memory datasets).
     """
     import repro
 
@@ -310,6 +316,8 @@ def spawn_local_workers(
         env["PYTHONPATH"] = (
             src_root + (os.pathsep + existing if existing else "")
         )
+    if extra_env:
+        env.update(extra_env)
     sink = subprocess.DEVNULL if quiet else None
     return [
         subprocess.Popen(

@@ -18,11 +18,13 @@ little an asynchronous algorithm needs to specify.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.api.registry import register_optimizer
 from repro.core.barriers import ASP
 from repro.optim.base import DistributedOptimizer, RunResult, bc_value
 from repro.optim.loop import ServerLoop, UpdateRule
-from repro.optim.reducers import add_pairs
+from repro.optim.reducers import add_pairs, fold_steps, stack_pairs
 
 __all__ = ["AsyncSGD", "ASGDRule"]
 
@@ -52,6 +54,24 @@ class ASGDRule(UpdateRule):
         problem = self.opt.problem
         g = (g_sum + problem.reg_grad(w, count)) / count
         return w - alpha * g
+
+    def batch_ready(self):
+        # The ridge term couples each step to the current iterate
+        # (reg_grad depends on w), so the batched form is only exact
+        # when lam == 0 and reg_grad is exactly the zero vector.
+        return not self.opt.problem.lam
+
+    def batch_accepts(self, record):
+        return record.value[1] > 0
+
+    def apply_batch(self, w, records, alphas):
+        G, counts = stack_pairs(records)
+        # `+ 0.0` replays the sequential path's `g_sum + zeros` add
+        # (it normalizes -0.0 entries to +0.0 exactly like adding the
+        # zero regularizer gradient does), and dividing by the float64
+        # counts matches dividing by the Python int counts bitwise.
+        steps = np.asarray(alphas)[:, None] * ((G + 0.0) / counts)
+        return fold_steps(w, steps)
 
 
 @register_optimizer("asgd")

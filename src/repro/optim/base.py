@@ -85,6 +85,12 @@ class OptimizerConfig:
     #: must be set together.
     snapshot_every: int = 0
     snapshot_path: str | None = None
+    #: Let the server loop vectorize update application across a drain's
+    #: worth of collected results, for rules that implement
+    #: ``apply_batch`` and vouch (via ``batch_ready``) that the batched
+    #: form is bit-identical to their one-at-a-time ``apply``. Off means
+    #: every rule takes the sequential path.
+    batch_apply: bool = True
 
     def __post_init__(self) -> None:
         if not 0 < self.batch_fraction <= 1:

@@ -165,6 +165,40 @@ class UpdateRule:
         """
         raise NotImplementedError
 
+    # -- batched application (optional fast path) --------------------------------------
+    def batch_ready(self) -> bool:
+        """Whether batched application is *exact* for this bound run.
+
+        Consulted once, after :meth:`bind`: a rule whose batched form is
+        only bit-identical under some configurations (e.g. ASGD needs a
+        zero ridge term so the regularizer gradient is exactly zero)
+        rejects batching here and keeps the sequential path.
+        """
+        return True
+
+    def batch_accepts(self, record: "TaskResultRecord") -> bool:
+        """Whether ``record`` may join a deferred batch.
+
+        Contract: ``True`` implies :meth:`apply` would return a non-None
+        model for this record regardless of the current iterate — the
+        loop counts the update (and advances the model version) before
+        the numeric work happens at the next flush point. Records it
+        declines (e.g. empty mini-batches) take the sequential path.
+        """
+        return False
+
+    def apply_batch(self, w, records: list, alphas: list):
+        """Apply several accepted records in one vectorized step.
+
+        Must be bit-identical to folding :meth:`apply` over the records
+        left to right (``alphas`` aligns with ``records``; entries are
+        ``None`` when ``needs_alpha`` is False). The loop only calls this
+        with records that passed :meth:`batch_accepts`, and only between
+        observation points (trace snapshots, mid-run snapshots, round
+        boundaries), so intermediate iterates are never observable.
+        """
+        raise NotImplementedError
+
     # -- reporting ---------------------------------------------------------------------
     def algorithm_label(self) -> str:
         return self.opt.name
@@ -201,6 +235,7 @@ class ServerLoop:
         snapshot_every: int | None = None,
         snapshot_path: str | None = None,
         fault_plan: Any = None,
+        batch_apply: bool | None = None,
     ) -> None:
         from repro.core.snapshots import SnapshotWriter
         from repro.errors import SnapshotError
@@ -228,6 +263,10 @@ class ServerLoop:
         if fault_plan is None:
             fault_plan = getattr(opt, "fault_plan", None)
         self.fault_plan = fault_plan
+        self.batch_apply = (
+            batch_apply if batch_apply is not None
+            else getattr(cfg, "batch_apply", True)
+        )
         #: The run's scheduling policy, normalized once so the dispatch
         #: path and the per-result ``weight`` hook see one instance.
         self.policy = as_policy(opt.policy)
@@ -342,6 +381,31 @@ class ServerLoop:
 
             faults = FaultPlanDriver(self.fault_plan, opt.ctx)
 
+        # Batched application: when the rule vouches that its vectorized
+        # form is exact, accepted records are *deferred* — the loop still
+        # counts the update and advances the model version immediately
+        # (so staleness restamps, policy weights and step indices are
+        # identical to the sequential path), but the numeric work happens
+        # at the next observation point in one ``apply_batch`` call.
+        batching = (
+            self.batch_apply
+            and type(rule).apply_batch is not UpdateRule.apply_batch
+            and rule.batch_ready()
+        )
+        pending: list = []
+        pending_alphas: list = []
+
+        def flush() -> None:
+            nonlocal w
+            if not pending:
+                return
+            if len(pending) == 1:
+                w = rule.apply(w, pending[0], pending_alphas[0])
+            else:
+                w = rule.apply_batch(w, pending, pending_alphas)
+            pending.clear()
+            pending_alphas.clear()
+
         def apply_one(record) -> None:
             nonlocal w, updates
             # The policy's contribution weight rides on the record: step
@@ -363,19 +427,28 @@ class ServerLoop:
                 and not rule.weight_aware
             ):
                 alpha *= record.weight
-            w_new = rule.apply(w, record, alpha)
-            if w_new is None:
-                return  # rejected (e.g. empty mini-batch)
-            w = w_new
-            updates = t
-            ac.model_updated()
+            if batching and rule.batch_accepts(record):
+                pending.append(record)
+                pending_alphas.append(alpha)
+                updates = t
+                ac.model_updated()
+            else:
+                flush()  # apply sees the up-to-date iterate
+                w_new = rule.apply(w, record, alpha)
+                if w_new is None:
+                    return  # rejected (e.g. empty mini-batch)
+                w = w_new
+                updates = t
+                ac.model_updated()
             if updates % cfg.eval_every == 0:
+                flush()
                 trace.record(opt.ctx.now(), updates, w)
             if self.snapshots is not None and self.snapshots.due(updates):
                 # Written at the instant update N applies, before any
                 # further collect mutates rule state — which is what
                 # makes a mid-run snapshot byte-identical to the final
                 # snapshot of a max_updates=N run of the same spec.
+                flush()
                 self.snapshots.write(
                     self.snapshot_state(
                         w, updates, rounds, epoch_rounds_left
@@ -403,7 +476,11 @@ class ServerLoop:
                 apply_one(ac.collect_all(block=True))
             while ac.has_next(block=False):
                 apply_one(ac.collect_all(block=False))
+            # The drain is over: materialize deferred updates before the
+            # next round observes (publishes) the iterate.
+            flush()
 
+        flush()
         end_ms = opt.ctx.now()
         if trace.updates[-1] != updates:
             trace.record(end_ms, updates, w)

@@ -1,0 +1,198 @@
+"""Zero-copy shared-memory datasets: round trips, refcounts, crash cleanup.
+
+The lifecycle contract under test: the sweep driver publishes each
+dataset group once, attachers map (never copy) the segments read-only,
+and only the publisher unlinks — which must succeed even after an
+attacher is SIGKILLed mid-map, and must leave nothing named behind.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+import repro
+from repro.api.parallel import _load_dataset, run_cells
+from repro.api.spec import ExperimentSpec
+from repro.data import shm
+from repro.data.registry import get_dataset
+from repro.errors import DataError
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    yield
+    shm.detach_all()
+    shm.set_active_manifests(None)
+
+
+def _publish(dataset, seed=0):
+    pub = shm.publish_dataset(dataset, seed)
+    if pub is None:
+        pytest.skip("shared memory unavailable on this host")
+    return pub
+
+
+def test_dense_round_trip_is_bit_identical_and_read_only():
+    pub = _publish("tiny_dense")
+    try:
+        X, y, dspec = shm.attach_dataset(pub.manifest)
+        X0, y0, dspec0 = get_dataset("tiny_dense", seed=0)
+        assert np.array_equal(X, X0)
+        assert np.array_equal(y, y0)
+        assert dspec == dspec0
+        assert not X.flags.writeable
+        assert not y.flags.writeable
+    finally:
+        pub.unlink()
+
+
+def test_csr_round_trip_maps_buffers_without_copying():
+    pub = _publish("tiny_sparse")
+    try:
+        X, y, dspec = shm.attach_dataset(pub.manifest)
+        X0, y0, dspec0 = get_dataset("tiny_sparse", seed=0)
+        assert sparse.issparse(X)
+        assert (X != X0).nnz == 0
+        assert np.array_equal(y, y0)
+        assert dspec == dspec0
+        # the CSR is assembled over the mapped (read-only) buffers
+        assert not X.data.flags.writeable
+        assert not X.indices.flags.writeable
+        assert not X.indptr.flags.writeable
+    finally:
+        pub.unlink()
+
+
+def test_attach_is_refcounted_per_key():
+    pub = _publish("tiny_dense")
+    try:
+        a = shm.attach_dataset(pub.manifest)
+        b = shm.attach_dataset(pub.manifest)
+        assert a[0] is b[0]  # cache hit: same mapped array, refcount 2
+        shm.release_dataset(pub.manifest["key"])
+        c = shm.attach_dataset(pub.manifest)  # still mapped (refcount 1)
+        assert c[0] is a[0]
+        shm.release_dataset(pub.manifest["key"])
+        shm.release_dataset(pub.manifest["key"])
+    finally:
+        pub.unlink()
+
+
+def test_attach_after_unlink_raises_data_error():
+    pub = _publish("tiny_dense")
+    pub.unlink()
+    with pytest.raises(DataError):
+        shm.attach_dataset(pub.manifest)
+
+
+def test_unlink_is_idempotent():
+    pub = _publish("tiny_dense")
+    pub.unlink()
+    pub.unlink()
+
+
+def test_load_dataset_falls_back_when_segments_are_gone():
+    pub = _publish("tiny_dense")
+    pub.unlink()
+    shm.set_active_manifests([pub.manifest])
+    spec = ExperimentSpec.coerce(
+        {"algorithm": "asgd", "dataset": "tiny_dense", "max_updates": 4,
+         "seed": 0}
+    )
+    X, y, dspec = _load_dataset(spec)
+    X0, y0, dspec0 = get_dataset("tiny_dense", seed=0)
+    assert np.array_equal(X, X0)
+    assert np.array_equal(y, y0)
+    assert dspec == dspec0
+
+
+def test_run_cells_share_data_parity():
+    """Pool cells attached to one shared copy summarize bit-identically
+    to cells that each materialized their own dataset."""
+    specs = [
+        {"algorithm": "asgd", "dataset": "tiny_dense", "num_workers": w,
+         "num_partitions": 8, "max_updates": 10, "eval_every": 5, "seed": 0}
+        for w in (2, 3, 4, 5)
+    ]
+    shared = run_cells(specs, jobs=2, share_data=True)
+    private = run_cells(specs, jobs=2, share_data=False)
+    assert json.dumps(shared, sort_keys=True) == json.dumps(
+        private, sort_keys=True
+    )
+
+
+_ATTACH_AND_WAIT = """\
+import json, sys, time
+from repro.data import shm
+manifest = json.loads(sys.stdin.readline())
+X, y, dspec = shm.attach_dataset(manifest)
+print("ready", flush=True)
+time.sleep(60)
+"""
+
+_ATTACH_AND_EXIT = """\
+import json, sys
+from repro.data import shm
+manifest = json.loads(sys.stdin.readline())
+X, y, dspec = shm.attach_dataset(manifest)
+assert float(X.sum()) == float(X.sum())
+shm.detach_all()
+"""
+
+
+def _child(code):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", code],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, env=env, text=True,
+    )
+
+
+def test_attacher_normal_exit_leaves_no_tracker_noise():
+    """An exec'd attacher that exits cleanly must not unlink the
+    publisher's segments or emit resource_tracker warnings."""
+    pub = _publish("tiny_dense")
+    try:
+        proc = _child(_ATTACH_AND_EXIT)
+        _, err = proc.communicate(
+            json.dumps(pub.manifest) + "\n", timeout=60
+        )
+        assert proc.returncode == 0, err
+        assert "resource_tracker" not in err, err
+        # segments still alive for the publisher and later attachers
+        X, _, _ = shm.attach_dataset(pub.manifest)
+        assert X.size
+    finally:
+        pub.unlink()
+
+
+def test_sigkilled_attacher_cleanup():
+    """SIGKILL an attacher mid-map: the publisher's unlink must still
+    succeed, and the segment names must be gone from the host."""
+    pub = _publish("tiny_dense")
+    proc = _child(_ATTACH_AND_WAIT)
+    try:
+        proc.stdin.write(json.dumps(pub.manifest) + "\n")
+        proc.stdin.flush()
+        assert proc.stdout.readline().strip() == "ready"
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=60)
+    pub.unlink()
+    for part in pub.manifest["arrays"].values():
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=part["segment"])

@@ -1,0 +1,201 @@
+"""COMM subsystem benchmarks: packet codecs and end-to-end wire savings.
+
+Two layers, mirroring the other ``BENCH_*`` scripts:
+
+- **Micro** — per-compressor round-trip throughput (MB/s of input
+  gradient per second through compress+decompress) and the exact wire
+  byte count per packet, asserted against ``Packet.to_bytes()``.
+- **End-to-end** — the same logistic ASGD job run with no COMM layer,
+  through the byte-exact ``none`` codec (must be bit-identical), and
+  through ``topk:0.1`` / ``onebit`` with error feedback at the *same
+  update budget*. The record holds collect-direction raw/wire bytes and
+  final errors; the run fails unless the lossy codecs stay within
+  ``--max-err-ratio`` of the ``none`` error while saving at least
+  ``--min-collect-ratio`` on collect wire bytes.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_comm.py --out BENCH_comm.json
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.comm import Packet, parse_compressor
+
+COMPRESSORS = ("none", "topk:0.1", "randk:0.1", "int8", "onebit")
+
+
+def _rate(fn, units_per_call: float, min_seconds: float = 0.2) -> float:
+    fn()
+    calls = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        calls += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return units_per_call * calls / elapsed
+
+
+def bench_packets(d: int = 4096) -> dict:
+    """Round-trip throughput + exact wire bytes per compressor."""
+    rng = np.random.default_rng(0)
+    grad = rng.standard_normal(d)
+    out = {"d": d, "raw_bytes": int(grad.nbytes)}
+    for token in COMPRESSORS:
+        comp = parse_compressor(token)
+        packet = comp.compress(grad, rng=np.random.default_rng(1))
+        blob = packet.to_bytes()
+        assert len(blob) == packet.wire_bytes, (
+            f"{token}: wire_bytes {packet.wire_bytes} != "
+            f"serialized {len(blob)}"
+        )
+        restored = comp.decompress(Packet.from_bytes(blob))
+        assert restored.shape == grad.shape
+        if not comp.lossy:
+            assert np.array_equal(restored, grad), "none codec moved data"
+
+        def roundtrip(comp=comp):
+            comp.decompress(
+                comp.compress(grad, rng=np.random.default_rng(1))
+            )
+
+        out[token.replace(":", "_")] = {
+            "wire_bytes": int(packet.wire_bytes),
+            "ratio": round(grad.nbytes / packet.wire_bytes, 2),
+            "mb_per_s": round(_rate(roundtrip, grad.nbytes / 1e6), 1),
+        }
+    return out
+
+
+def bench_e2e(
+    d: int = 512, updates: int = 240, workers: int = 4, seed: int = 7
+) -> dict:
+    """Equal-budget logistic ASGD: no-comm vs none vs lossy codecs."""
+    from repro.api.runner import prepare_experiment, summarize
+
+    base = {
+        "dataset": {"name": "synth_logistic", "d": d},
+        "problem": "logistic",
+        "algorithm": "asgd",
+        "num_workers": workers,
+        "num_partitions": 2 * workers,
+        "max_updates": updates,
+        "eval_every": max(updates // 10, 1),
+        "seed": seed,
+    }
+    out: dict = {"spec": base}
+    for label, compressor in (
+        ("off", None),
+        ("none", "none"),
+        ("topk_0.1", "topk:0.1"),
+        ("onebit", "onebit"),
+    ):
+        spec = dict(base)
+        if compressor is not None:
+            spec["compressor"] = compressor
+        prep = prepare_experiment(spec)
+        start = time.perf_counter()
+        result = prep.execute()
+        host_s = time.perf_counter() - start
+        summary = summarize(prep, result)
+        extras = summary["extras"]
+        out[label] = {
+            "final_error": summary["final_error"],
+            "updates": summary["updates"],
+            "host_s": round(host_s, 3),
+            "collect_raw_bytes": extras.get("comm_collect_raw_bytes"),
+            "collect_wire_bytes": extras.get("comm_collect_wire_bytes"),
+            "wire_ratio": extras.get("comm_ratio"),
+        }
+    assert out["off"]["final_error"] == out["none"]["final_error"], (
+        "'none' compressor changed the trajectory: "
+        f"{out['off']['final_error']} != {out['none']['final_error']}"
+    )
+    none = out["none"]
+    for label in ("topk_0.1", "onebit"):
+        cell = out[label]
+        cell["err_vs_none"] = round(
+            cell["final_error"] / none["final_error"], 4
+        )
+        cell["collect_savings"] = round(
+            none["collect_wire_bytes"] / cell["collect_wire_bytes"], 2
+        )
+    return out
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import platform
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_comm.json",
+                        help="where to write the record")
+    parser.add_argument("--updates", type=int, default=240,
+                        help="e2e run length in applied updates")
+    parser.add_argument("--dim", type=int, default=512,
+                        help="logistic feature dimension for the e2e runs")
+    parser.add_argument("--min-collect-ratio", type=float, default=5.0,
+                        help="fail unless each lossy codec saves this "
+                             "factor on collect wire bytes vs 'none'")
+    parser.add_argument("--max-err-ratio", type=float, default=2.0,
+                        help="fail if a lossy codec's final error exceeds "
+                             "this multiple of the 'none' error")
+    args = parser.parse_args(argv)
+
+    record = {
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "packets": bench_packets(),
+        "e2e": bench_e2e(d=args.dim, updates=args.updates),
+    }
+    for token in COMPRESSORS:
+        cell = record["packets"][token.replace(":", "_")]
+        print(
+            f"packet {token:10s}: {cell['wire_bytes']:7d} B "
+            f"({cell['ratio']:6.2f}x), {cell['mb_per_s']:8.1f} MB/s"
+        )
+    e2e = record["e2e"]
+    print(
+        f"e2e none  : err {e2e['none']['final_error']:.6f}, "
+        f"collect {e2e['none']['collect_wire_bytes']} B "
+        "(bit-identical to comm off)"
+    )
+    failed = False
+    for label in ("topk_0.1", "onebit"):
+        cell = e2e[label]
+        print(
+            f"e2e {label:8s}: err {cell['final_error']:.6f} "
+            f"({cell['err_vs_none']:.3f}x none), collect saves "
+            f"{cell['collect_savings']:.2f}x"
+        )
+        if cell["collect_savings"] < args.min_collect_ratio:
+            print(
+                f"FAIL: {label} collect savings "
+                f"{cell['collect_savings']:.2f}x < "
+                f"{args.min_collect_ratio:.2f}x"
+            )
+            failed = True
+        if cell["err_vs_none"] > args.max_err_ratio:
+            print(
+                f"FAIL: {label} error {cell['err_vs_none']:.3f}x none "
+                f"> {args.max_err_ratio:.2f}x"
+            )
+            failed = True
+    with open(args.out, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    return 3 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -262,11 +262,15 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     import repro.api.runner  # noqa: F401  (populates every registry)
-    from repro.api import BARRIERS, DELAY_MODELS, OPTIMIZERS, PROBLEMS, STEPS
+    from repro.api import (
+        BARRIERS, COMPRESSORS, DELAY_MODELS, OPTIMIZERS, PROBLEMS, STEPS,
+    )
     from repro.core.policies import policy_hooks
     from repro.data.registry import REGISTRY, list_datasets
 
-    for registry in (OPTIMIZERS, PROBLEMS, BARRIERS, STEPS, DELAY_MODELS):
+    for registry in (
+        OPTIMIZERS, PROBLEMS, BARRIERS, STEPS, DELAY_MODELS, COMPRESSORS,
+    ):
         print(f"{registry.kind}s: {', '.join(registry.names())}")
     from repro.core.policies import SchedulingPolicy
 
@@ -308,6 +312,17 @@ def _cmd_list(args: argparse.Namespace) -> int:
         '{"name": "libsvm", "path": "<file>"}'
     )
     print("granularities: worker, partition")
+    print("compressors (spec field 'compressor', async optimizers only):")
+    print("  none: identity (bit-identical to no compressor at all)")
+    print("  topk:f: keep the ceil(f*n) largest-magnitude entries")
+    print("  randk:f: keep ceil(f*n) seeded uniformly sampled entries")
+    print("  int8: 8-bit linear quantization, one float scale per tensor")
+    print("  onebit: sign bitmap + mean-magnitude scale (1 bit per entry)")
+    print(
+        "  lossy compressors run with per-worker error feedback; dict "
+        'specs add delta broadcasting: {"name": "topk", "fraction": 0.1, '
+        '"delta": true}'
+    )
     return 0
 
 

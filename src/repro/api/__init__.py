@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 
 from repro.api.registry import (
     BARRIERS,
+    COMPRESSORS,
     DELAY_MODELS,
     OPTIMIZERS,
     POLICIES,
@@ -46,6 +47,7 @@ from repro.api.registry import (
     STEPS,
     Registry,
     register_barrier,
+    register_compressor,
     register_delay_model,
     register_optimizer,
     register_policy,
@@ -72,12 +74,14 @@ __all__ = [
     "POLICIES",
     "STEPS",
     "DELAY_MODELS",
+    "COMPRESSORS",
     "register_optimizer",
     "register_problem",
     "register_barrier",
     "register_policy",
     "register_step",
     "register_delay_model",
+    "register_compressor",
     "ExperimentSpec",
     "GridSpec",
     "PreparedExperiment",

@@ -45,6 +45,7 @@ __all__ = [
     "STEPS",
     "DELAY_MODELS",
     "FAULT_PLANS",
+    "COMPRESSORS",
     "register_optimizer",
     "register_problem",
     "register_barrier",
@@ -52,6 +53,7 @@ __all__ = [
     "register_step",
     "register_delay_model",
     "register_fault_plan",
+    "register_compressor",
 ]
 
 
@@ -194,6 +196,7 @@ POLICIES = BARRIERS
 STEPS = Registry("step schedule")
 DELAY_MODELS = Registry("delay model")
 FAULT_PLANS = Registry("fault plan")
+COMPRESSORS = Registry("compressor")
 
 register_optimizer = OPTIMIZERS.register
 register_problem = PROBLEMS.register
@@ -202,3 +205,4 @@ register_policy = POLICIES.register
 register_step = STEPS.register
 register_delay_model = DELAY_MODELS.register
 register_fault_plan = FAULT_PLANS.register
+register_compressor = COMPRESSORS.register

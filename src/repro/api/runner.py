@@ -33,6 +33,7 @@ from repro.cluster.cost import AnalyticCostModel
 from repro.cluster.faultplan import FaultPlan, resolve_fault_plan
 from repro.cluster.network import NetworkModel
 from repro.cluster.stragglers import DelayModel
+from repro.comm.manager import CommManager
 from repro.core.policies import SchedulingPolicy, resolve_policy
 from repro.data.registry import get_dataset
 from repro.engine.context import ClusterContext
@@ -129,6 +130,8 @@ class PreparedExperiment:
     fault_plan: FaultPlan | None = None
     #: A loaded run snapshot to resume from (spec ``restore_from``).
     restore_state: dict | None = None
+    #: The run's COMM subsystem (spec ``compressor``; ``None`` = none).
+    comm: CommManager | None = None
 
     def make_context(self) -> ClusterContext:
         """A fresh simulated cluster per the spec (use as context manager)."""
@@ -165,6 +168,8 @@ class PreparedExperiment:
             opt.fault_plan = self.fault_plan
         if self.restore_state is not None:
             opt.restore_state = self.restore_state
+        if self.comm is not None:
+            opt.comm = self.comm
         return opt
 
     def run_in(self, ctx: ClusterContext) -> RunResult:
@@ -271,6 +276,26 @@ def prepare_experiment(
     fault_plan = resolve_fault_plan(
         spec.fault_plan, num_workers=spec.num_workers, seed=spec.seed
     )
+    if spec.compressor is not None and not is_async:
+        raise ApiError(
+            f"'compressor' only applies to the asynchronous server loop; "
+            f"optimizer {spec.algorithm!r} is synchronous"
+        )
+    comm = CommManager.coerce(spec.compressor, seed=spec.seed)
+    num_partitions = spec.num_partitions or 2 * spec.num_workers
+    if comm is not None:
+        # Placement moves re-ship one partition's block; price it at the
+        # dataset's even-split footprint (raw — blocks are not model
+        # vectors, the compressor does not apply).
+        nbytes = getattr(X, "nbytes", None)
+        if nbytes is None:  # scipy sparse: raw triplet footprint
+            nbytes = sum(
+                getattr(getattr(X, attr, None), "nbytes", 0)
+                for attr in ("data", "indices", "indptr")
+            )
+        total = int(nbytes) + int(np.asarray(y).nbytes)
+        per_partition = max(1, total // max(num_partitions, 1))
+        comm.migration_bytes_fn = lambda partition: per_partition
     restore_state = None
     if spec.restore_from is not None:
         from repro.core.snapshots import read_snapshot
@@ -320,9 +345,10 @@ def prepare_experiment(
         delay_model=delay,
         cost_model=cost_model,
         network=network,
-        num_partitions=spec.num_partitions or 2 * spec.num_workers,
+        num_partitions=num_partitions,
         fault_plan=fault_plan,
         restore_state=restore_state,
+        comm=comm,
     )
 
 

@@ -99,6 +99,12 @@ class ExperimentSpec:
     #: (``"random_kill:2"``), the script grammar
     #: (``"kill:w2@500ms,revive:w2@900ms"``), or a dict with ``name``.
     fault_plan: Any = None
+    #: COMM subsystem (async only): a registered compressor name
+    #: (``"none"``, ``"topk:0.1"``, ``"int8"``, ``"onebit"``) or a dict
+    #: (``{"name": "topk", "fraction": 0.1, "delta": true}`` — the
+    #: ``delta`` key turns on delta broadcasting against HIST
+    #: watermarks). ``None`` -> no comm subsystem (pre-COMM byte paths).
+    compressor: Any = None
 
     # -- serialization -----------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -119,7 +125,7 @@ class ExperimentSpec:
         # byte-stable.
         if not out["snapshot_every"]:
             del out["snapshot_every"]
-        for key in ("snapshot_path", "restore_from", "fault_plan"):
+        for key in ("snapshot_path", "restore_from", "fault_plan", "compressor"):
             if out[key] is None:
                 del out[key]
         return out

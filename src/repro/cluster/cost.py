@@ -22,7 +22,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["TaskCostModel", "AnalyticCostModel", "MeasuredCostModel"]
+__all__ = [
+    "TaskCostModel", "AnalyticCostModel", "MeasuredCostModel",
+    "CodecCostModel",
+]
 
 
 class TaskCostModel(ABC):
@@ -96,3 +99,26 @@ class MeasuredCostModel(TaskCostModel):
         rng: np.random.Generator | None = None,
     ) -> float:
         return max(measured_ms * self.scale, self.floor_ms)
+
+
+@dataclass
+class CodecCostModel:
+    """Compute price of compressing/decompressing payload bytes.
+
+    Compression is not free: the COMM codec reports
+    ``units(bytes_processed)`` extra cost units via
+    ``WorkerEnv.record_cost``, which the task cost model converts to
+    milliseconds alongside the kernel's own work. The default models a
+    ~1 GB/s single-core codec against the engine's default
+    ``ms_per_unit`` (1e-3): one unit per ~1 KB processed. ``none``
+    payloads are never wrapped, so they pay nothing.
+    """
+
+    units_per_byte: float = 1e-3 / 1024.0
+
+    def __post_init__(self) -> None:
+        if self.units_per_byte < 0:
+            raise ValueError("units_per_byte must be >= 0")
+
+    def units(self, nbytes: int) -> float:
+        return float(nbytes) * self.units_per_byte

@@ -1,0 +1,51 @@
+"""COMM: the communication subsystem — every byte that crosses the wire.
+
+Three pillars, all spec-addressable through the ``compressor`` field:
+
+- :mod:`repro.comm.compressors` — the ``Compressor`` component family
+  (``none`` / ``topk:f`` / ``randk:f`` / ``int8`` / ``onebit``) with
+  exact-byte-count packets and a registry + string grammar,
+- :mod:`repro.comm.codec` + :mod:`repro.comm.manager` — worker-side
+  error-feedback encoding of collect payloads, delta broadcasting
+  against HIST version-table watermarks, watermark pruning of
+  ``keep="all"`` model channels,
+- :mod:`repro.comm.ledger` — the per-run raw/wire byte ledger surfaced
+  in ``RunResult.extras["comm"]`` (plus :mod:`repro.comm.frames` for the
+  sweep fabric's compressed result frames).
+"""
+
+from repro.comm.codec import EncodedPayload, PayloadCodec
+from repro.comm.compressors import (
+    Compressor,
+    Int8Compressor,
+    NoneCompressor,
+    OneBitCompressor,
+    Packet,
+    RandKCompressor,
+    TopKCompressor,
+    parse_compressor,
+)
+from repro.comm.frames import decode_frame, encode_frame, frame_bytes, is_frame
+from repro.comm.ledger import CommLedger
+from repro.comm.manager import CommManager
+from repro.comm.measure import payload_nbytes
+
+__all__ = [
+    "Compressor",
+    "NoneCompressor",
+    "TopKCompressor",
+    "RandKCompressor",
+    "Int8Compressor",
+    "OneBitCompressor",
+    "Packet",
+    "parse_compressor",
+    "EncodedPayload",
+    "PayloadCodec",
+    "CommLedger",
+    "CommManager",
+    "payload_nbytes",
+    "encode_frame",
+    "decode_frame",
+    "frame_bytes",
+    "is_frame",
+]

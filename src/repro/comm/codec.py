@@ -1,0 +1,140 @@
+"""Worker-side payload codec: encode task results, carry error feedback.
+
+The scheduler wraps each dispatched task closure so the reduced payload
+(the ``acc`` half of the ``(acc, count)`` pair every async round ships)
+is encoded on the worker before it crosses the wire, and decoded on the
+driver before the update rule sees it. Float ndarray leaves of the
+payload tree compress through the configured
+:class:`~repro.comm.compressors.Compressor`; everything else passes
+through untouched.
+
+Error feedback (the Bagua ``onebit_adam`` shape): per worker/partition,
+the residual ``x - decompress(compress(x))`` of each leaf is stored in
+the :class:`~repro.cluster.backend.WorkerEnv` and added back into the
+next round's payload before compressing, so compression error is
+re-injected rather than lost. A killed worker loses its residuals with
+the rest of its local state — exactly what a real crash would do.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.comm.compressors import Compressor, Packet
+from repro.comm.measure import payload_nbytes
+from repro.utils.sizeof import sizeof_bytes
+
+__all__ = ["EncodedPayload", "PayloadCodec"]
+
+#: Float leaves smaller than this travel raw (header would dominate).
+_MIN_COMPRESS_SIZE = 8
+
+#: env-kv sentinel scope for worker-granular tasks (no partition id).
+_WORKER_SCOPE = -1
+
+
+class EncodedPayload:
+    """A payload tree with float ndarray leaves replaced by packets.
+
+    ``raw_bytes`` is the uncompressed payload's wire measure;
+    ``wire_bytes`` the encoded tree's — packets at their exact serialized
+    size, passthrough leaves at the raw measure.
+    """
+
+    __slots__ = ("tree", "raw_bytes", "wire_bytes")
+
+    def __init__(self, tree: Any, raw_bytes: int, wire_bytes: int) -> None:
+        self.tree = tree
+        self.raw_bytes = int(raw_bytes)
+        self.wire_bytes = int(wire_bytes)
+
+    @property
+    def ratio(self) -> float:
+        return self.raw_bytes / max(self.wire_bytes, 1)
+
+
+def _tree_wire_bytes(node: Any) -> int:
+    if isinstance(node, Packet):
+        return node.wire_bytes
+    if isinstance(node, tuple):
+        return 64 + sum(_tree_wire_bytes(child) for child in node)
+    return sizeof_bytes(node)
+
+
+def _is_compressible(leaf: Any) -> bool:
+    return (
+        isinstance(leaf, np.ndarray)
+        and leaf.dtype.kind == "f"
+        and leaf.size >= _MIN_COMPRESS_SIZE
+    )
+
+
+class PayloadCodec:
+    """Encode/decode payload trees with per-scope error feedback."""
+
+    def __init__(self, compressor: Compressor, seed: int = 0) -> None:
+        self.compressor = compressor
+        self.seed = int(seed)
+
+    # -- worker side -----------------------------------------------------------
+    def encode(self, payload: Any, env, partition: "int | None") -> EncodedPayload:
+        """Compress ``payload``'s float leaves; residuals live in ``env``."""
+        scope = _WORKER_SCOPE if partition is None else int(partition)
+        ef_key = ("comm_ef", scope)
+        residuals: dict[int, np.ndarray] = env.get(ef_key) or {}
+        rng_key = ("comm_rng", scope)
+        draw = int(env.get(rng_key) or 0)
+        env.put(rng_key, draw + 1)
+
+        leaf_index = 0
+
+        def walk(node: Any) -> Any:
+            nonlocal leaf_index
+            if isinstance(node, tuple):
+                return tuple(walk(child) for child in node)
+            if not _is_compressible(node):
+                return node
+            index = leaf_index
+            leaf_index += 1
+            x = node.astype(np.float64, copy=True)
+            residual = residuals.get(index)
+            if residual is not None and residual.shape == x.shape:
+                x += residual
+            rng = None
+            if self.compressor.needs_rng:
+                rng = np.random.default_rng(
+                    [self.seed, env.worker_id, scope & 0x7FFFFFFF, draw, index]
+                )
+            packet = self.compressor.compress(x, rng=rng)
+            residuals[index] = x - self.compressor.decompress(packet).astype(
+                np.float64, copy=False
+            )
+            return packet
+
+        tree = walk(payload)
+        env.put(ef_key, residuals)
+        return EncodedPayload(
+            tree, payload_nbytes(payload), _tree_wire_bytes(tree)
+        )
+
+    # -- driver side -----------------------------------------------------------
+    def decode(self, encoded: EncodedPayload) -> Any:
+        def walk(node: Any) -> Any:
+            if isinstance(node, Packet):
+                return self.compressor.decompress(node)
+            if isinstance(node, tuple):
+                return tuple(walk(child) for child in node)
+            return node
+
+        return walk(encoded.tree)
+
+    @staticmethod
+    def out_bytes_of(value: Any) -> int:
+        """``BackendTask.out_bytes_of`` for encoded ``(acc, count)`` pairs."""
+        if isinstance(value, EncodedPayload):
+            return value.wire_bytes
+        if isinstance(value, tuple):
+            return 64 + sum(PayloadCodec.out_bytes_of(v) for v in value)
+        return sizeof_bytes(value)

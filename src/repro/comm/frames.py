@@ -1,0 +1,62 @@
+"""Fabric result frames: compressed, byte-accounted JSON payloads.
+
+The sweep fabric ships cell summaries as JSON over its socket protocol.
+This module wraps those payloads in a self-describing frame —
+zlib-compressed canonical JSON, base64-armored so the frame itself stays
+a plain JSON message — carrying exact raw/wire byte counts. The
+coordinator decodes frames transparently (a plain dict from an older
+worker passes through untouched) and feeds the counts into its comm
+stats, so duplicate/stolen-lease retransmits are visible and priced in
+``sweep-status`` instead of silently re-paid.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import zlib
+from typing import Any
+
+from repro.errors import ProtocolError
+
+__all__ = ["FRAME_KEY", "encode_frame", "decode_frame", "is_frame",
+           "frame_bytes"]
+
+FRAME_KEY = "__comm_frame__"
+_ENCODING = "zjson"
+
+
+def encode_frame(payload: Any, *, level: int = 6) -> dict:
+    """Wrap a JSON-safe payload in a compressed, byte-accounted frame."""
+    raw = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+    wire = zlib.compress(raw, level)
+    return {
+        FRAME_KEY: _ENCODING,
+        "data": base64.b64encode(wire).decode("ascii"),
+        "raw_bytes": len(raw),
+        "wire_bytes": len(wire),
+    }
+
+
+def is_frame(obj: Any) -> bool:
+    return isinstance(obj, dict) and obj.get(FRAME_KEY) == _ENCODING
+
+
+def frame_bytes(obj: Any) -> tuple[int, int]:
+    """``(raw, wire)`` byte counts of a frame or plain payload."""
+    if is_frame(obj):
+        return int(obj.get("raw_bytes", 0)), int(obj.get("wire_bytes", 0))
+    raw = len(json.dumps(obj, separators=(",", ":"), default=str).encode())
+    return raw, raw
+
+
+def decode_frame(obj: Any) -> Any:
+    """Unwrap a frame; non-frame values pass through unchanged."""
+    if not is_frame(obj):
+        return obj
+    try:
+        wire = base64.b64decode(obj["data"], validate=True)
+        return json.loads(zlib.decompress(wire).decode())
+    except (KeyError, ValueError, binascii.Error, zlib.error) as exc:
+        raise ProtocolError(f"malformed comm frame: {exc}") from exc

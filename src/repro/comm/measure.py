@@ -1,0 +1,24 @@
+"""The canonical wire-byte measure shared by COMM and HIST.
+
+Every byte count the communication subsystem reports — ledger rows,
+history-channel accounting, task out-bytes — funnels through
+:func:`payload_nbytes` so the ledger and ``extras["history"]`` speak the
+same units. The measure currently delegates to
+:func:`repro.utils.sizeof.sizeof_bytes` (the engine's long-standing
+pickled-size estimate); centralizing it here means a future change to
+the serialization story lands in one place and *cannot* drift between
+the two reports again.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.utils.sizeof import sizeof_bytes
+
+__all__ = ["payload_nbytes"]
+
+
+def payload_nbytes(value: Any) -> int:
+    """Bytes ``value`` occupies on the (simulated or real) wire, raw."""
+    return sizeof_bytes(value)

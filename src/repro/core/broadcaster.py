@@ -42,9 +42,14 @@ _MISSING = object()
 class HistoryBroadcast:
     """Worker-facing handle: ``(channel, version)`` plus history access."""
 
-    def __init__(self, channel: HistoryChannel, version: int) -> None:
+    def __init__(
+        self, channel: HistoryChannel, version: int, comm: Any = None
+    ) -> None:
         self.channel = channel
         self.version = version
+        #: The run's :class:`~repro.comm.manager.CommManager`; ``None``
+        #: keeps the original full-value fetch path untouched.
+        self.comm = comm
 
     @property
     def nbytes(self) -> int:
@@ -57,10 +62,25 @@ class HistoryBroadcast:
         cached = env.get(key, _MISSING)
         if cached is not _MISSING:
             return cached
-        value = self.channel.get(version)
-        env.record_fetch(self.channel.nbytes(version))
+        if self.comm is not None:
+            # COMM owns the miss: it records the broadcast in the run's
+            # ledger and, under delta mode, ships a compressed delta
+            # against this worker's mirror instead of the full value.
+            value, nbytes = self.comm.fetch_channel_value(
+                self.channel, version, env
+            )
+        else:
+            value = self.channel.get(version)
+            nbytes = self.channel.nbytes(version)
+        env.record_fetch(nbytes)
         env.put(key, value)
         return value
+
+    def report_watermark(self, scope: Any, version: int) -> None:
+        """Declare that ``scope`` will never again read below ``version``
+        on this channel (feeds COMM's prune floor; no-op without COMM)."""
+        if self.comm is not None:
+            self.comm.report_watermark(self.channel.name, scope, version)
 
     def value(self, env: WorkerEnv | None = None) -> Any:
         """This handle's own version (the paper's ``w_br.value``)."""
@@ -87,6 +107,9 @@ class AsyncBroadcaster:
         #: The backing HIST store (own one unless the caller shares its
         #: coordinator's, which the ASYNCContext does).
         self.store = store if store is not None else HistoryStore(clock=ctx.now)
+        #: The run's :class:`~repro.comm.manager.CommManager` (set by the
+        #: server loop); ``None`` = plain transport, no ledger, no delta.
+        self.comm: Any = None
 
     def channel(
         self, name: str = "model", keep: RetentionPolicy | str | None = None
@@ -101,10 +124,20 @@ class AsyncBroadcaster:
         channel: str = "model",
         keep: RetentionPolicy | str | None = None,
     ) -> HistoryBroadcast:
-        """Publish a new version on ``channel`` and return its handle."""
+        """Publish a new version on ``channel`` and return its handle.
+
+        With a COMM manager attached, publishing also prunes the channel
+        below its watermark floor — the version every registered reader
+        scope has advanced past — so ``keep="all"`` model channels stop
+        growing with the run once no one can re-reference old versions.
+        """
         ch = self.channel(channel, keep=keep)
         version = ch.append(value)
-        return HistoryBroadcast(ch, version)
+        if self.comm is not None:
+            floor = self.comm.prune_floor(ch.name)
+            if floor is not None:
+                ch.prune_below(floor)
+        return HistoryBroadcast(ch, version, comm=self.comm)
 
     def handle(self, channel: str, version: int) -> HistoryBroadcast:
         """Re-materialize a handle for an existing version."""
@@ -113,4 +146,4 @@ class AsyncBroadcaster:
             raise BroadcastError(
                 f"channel '{channel}' has no version {version}"
             )
-        return HistoryBroadcast(ch, version)
+        return HistoryBroadcast(ch, version, comm=self.comm)

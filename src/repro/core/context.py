@@ -65,6 +65,10 @@ class ASYNCContext:
         # one namespace, one accounting, one checkpoint surface.
         self.broadcaster = AsyncBroadcaster(ctx, store=self.history)
         self.default_barrier = as_policy(default_barrier)
+        #: The run's :class:`~repro.comm.manager.CommManager` (collect
+        #: compression + byte ledger); the server loop installs it here
+        #: and on the broadcaster. ``None`` = pre-COMM byte paths.
+        self.comm: Any = None
 
     @property
     def default_policy(self) -> SchedulingPolicy:

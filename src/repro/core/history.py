@@ -44,8 +44,8 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from repro.comm.measure import payload_nbytes
 from repro.errors import BroadcastError, HistoryError
-from repro.utils.sizeof import sizeof_bytes
 
 __all__ = [
     "RetentionPolicy",
@@ -193,7 +193,10 @@ class HistoryChannel:
         version = self._next_version
         self._next_version += 1
         self._values[version] = freeze_value(value)
-        nbytes = sizeof_bytes(value)
+        # HIST and the COMM ledger quote the same wire measure, so
+        # "history bytes stored" and "broadcast bytes shipped" are
+        # directly comparable in RunResult.extras.
+        nbytes = payload_nbytes(value)
         self._nbytes[version] = nbytes
         self._stamped_ms[version] = float(timestamp_ms)
         self.total_stored_bytes += nbytes
@@ -336,7 +339,9 @@ class HistoryChannel:
         self._stamped_ms = {
             int(v): float(t) for v, t in snap.get("timestamps_ms", {}).items()
         }
-        self._nbytes = {v: sizeof_bytes(val) for v, val in self._values.items()}
+        self._nbytes = {
+            v: payload_nbytes(val) for v, val in self._values.items()
+        }
         self.total_stored_bytes = sum(self._nbytes.values())
         acct = snap.get("accounting", {})
         self.appended_bytes = int(

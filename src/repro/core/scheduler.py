@@ -133,6 +133,7 @@ class AsyncScheduler:
                         and backend.worker_env(w).alive
                     )
 
+                before = len(coordinator.migration_log)
                 coordinator.apply_placement(
                     {
                         p: w for p, w in moves.items()
@@ -141,6 +142,11 @@ class AsyncScheduler:
                     ac.ctx.owner_of,
                     acceptable=alive,
                 )
+                if ac.comm is not None:
+                    # Each accepted move re-ships one partition's block;
+                    # the COMM ledger prices it under "migration".
+                    for moved, _old, _new in coordinator.migration_log[before:]:
+                        ac.comm.record_migration(moved)
 
             # 2. Candidates: alive workers holding data (under the current
             # placement), in worker-id order; availability filtering is
@@ -219,6 +225,12 @@ class AsyncScheduler:
         if partition is not None:
             self.partition_tasks_submitted += 1
         ac.coordinator.on_assigned(worker_id, version, partition=partition)
+        comm = ac.comm
+        if comm is not None:
+            # Worker-side encode (error-feedback compression of the
+            # reduced payload; identity for "none") and the matching
+            # wire-byte measure for the backend's network pricing.
+            fn = comm.wrap_task_fn(fn, partition)
 
         def cont(
             task_id: int,
@@ -230,6 +242,9 @@ class AsyncScheduler:
             self.in_flight -= 1
             if error is None:
                 payload, count = value
+                if comm is not None:
+                    # Server-side decode + one "collect" ledger row.
+                    payload = comm.note_collect(payload, metrics.out_bytes)
                 ac.coordinator.on_result(
                     task_id, wid, payload, metrics, None,
                     version=version, batch_size=count,
@@ -249,4 +264,5 @@ class AsyncScheduler:
             job_id=job_id,
             in_bytes=ac.ctx.task_descriptor_bytes,
             partition=partition,
+            out_bytes_of=comm.out_bytes_of if comm is not None else None,
         )

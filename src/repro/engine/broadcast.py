@@ -66,6 +66,12 @@ class Broadcast:
         if cached is not _MISSING:
             return cached
         env.record_fetch(self.nbytes)
+        comm = self._manager.comm
+        if comm is not None:
+            # Plain broadcasts always ship in full; the COMM ledger
+            # still counts them (raw == wire) so a run's broadcast
+            # bytes are complete, not just the HIST channels.
+            comm.record_plain_broadcast(self.nbytes)
         env.put(key, self._value)
         return self._value
 
@@ -88,6 +94,9 @@ class BroadcastManager:
         self._ids = itertools.count()
         self._live: dict[int, Broadcast] = {}
         self.total_broadcast_bytes = 0
+        #: The run's :class:`~repro.comm.manager.CommManager` ledger hook
+        #: (installed by the async server loop; ``None`` = no ledger).
+        self.comm: Any = None
 
     def new(self, value: Any) -> Broadcast:
         bc = Broadcast(self, next(self._ids), value)

@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.comm.frames import decode_frame, frame_bytes
 from repro.errors import FabricDrained, FabricError, ProtocolError, ReproError
 from repro.fabric.leases import DONE, LeaseTable
 from repro.fabric.protocol import (
@@ -90,6 +91,16 @@ class SweepCoordinator:
         self.on_result = on_result
         self.status_path = Path(status_path) if status_path else None
         self.results: dict[int, Any] = {}
+        #: Result-plane byte accounting: every frame that arrives is
+        #: counted, including the ones the lease table then drops as
+        #: duplicates — that is the point (retransmits are paid bytes).
+        self.comm_stats: dict[str, int] = {
+            "frames": 0,
+            "raw_bytes": 0,
+            "wire_bytes": 0,
+            "retransmits": 0,
+            "retransmit_wire_bytes": 0,
+        }
         self._host, self._port = host, port
         self._lock = threading.Lock()
         self._finished = threading.Event()
@@ -378,10 +389,22 @@ class SweepCoordinator:
         key = message.get("key")
         if not isinstance(key, str):
             raise FabricError("result message missing string 'key'")
+        framed = message.get("summary")
+        raw_b, wire_b = frame_bytes(framed)
+        try:
+            summary = decode_frame(framed)
+        except ProtocolError as exc:
+            raise FabricError(str(exc)) from exc
         with self._lock:
+            stats = self.comm_stats
+            stats["frames"] += 1
+            stats["raw_bytes"] += raw_b
+            stats["wire_bytes"] += wire_b
             verdict = self.table.complete(index, key, worker, now)
+            if verdict != "recorded" or message.get("resend"):
+                stats["retransmits"] += 1
+                stats["retransmit_wire_bytes"] += wire_b
             if verdict == "recorded":
-                summary = message.get("summary")
                 self.results[index] = summary
                 if self.on_result is not None:
                     self.on_result(index, key, summary)
@@ -396,6 +419,12 @@ class SweepCoordinator:
         now = time.monotonic()
         with self._lock:
             snap = self.table.snapshot(now)
+            comm = dict(self.comm_stats)
+        comm["ratio"] = (
+            round(comm["raw_bytes"] / comm["wire_bytes"], 3)
+            if comm["wire_bytes"] else 1.0
+        )
+        snap["comm"] = comm
         snap.update(
             fabric="sweep",
             runner=self.runner,

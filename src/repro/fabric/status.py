@@ -124,6 +124,16 @@ def format_status(status: dict) -> str:
         f"  throughput {status.get('cells_per_s', 0):.3f} cells/s, "
         f"ETA {_eta_text(status)}, elapsed {status.get('elapsed_s', 0)}s"
     )
+    comm = status.get("comm") or {}
+    if comm.get("frames"):
+        lines.append(
+            f"  comm: {comm.get('frames', 0)} result frame(s), "
+            f"{comm.get('raw_bytes', 0)} B raw -> "
+            f"{comm.get('wire_bytes', 0)} B wire "
+            f"({comm.get('ratio', 1.0)}x), "
+            f"{comm.get('retransmits', 0)} retransmit(s) costing "
+            f"{comm.get('retransmit_wire_bytes', 0)} B"
+        )
     if status.get("recovered"):
         lines.append(
             f"  recovered {status['recovered']} cell(s) from a previous "

@@ -36,6 +36,7 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
+from repro.comm.frames import encode_frame
 from repro.errors import FabricError, ProtocolError, ReproError
 from repro.fabric.chaos import ChaosConfig, ChaosLink
 from repro.fabric.protocol import (
@@ -92,6 +93,11 @@ class SweepWorker:
         self.cells_done = 0
         self.leases_taken = 0
         self._joined = False
+        #: Cells this worker has already shipped once. A torn session
+        #: re-leases the unacked cell back to us; the second send is
+        #: flagged so the coordinator's comm ledger counts it as a
+        #: retransmit even though the lease table records it only once.
+        self._sent_cells: set[tuple[int, str]] = set()
         # Deterministic per-name jitter: a fleet of workers restarting
         # together fans out instead of thundering back in lockstep.
         self._rng = random.Random(f"{self.name}:backoff")
@@ -168,7 +174,7 @@ class SweepWorker:
             return {**base, "error": f"{type(exc).__name__}: {exc}"}
         to_dict = getattr(result, "to_dict", None)
         summary: Any = to_dict() if callable(to_dict) else result
-        return {**base, "summary": summary}
+        return {**base, "summary": encode_frame(summary)}
 
     def _run_lease(self, conn: socket.socket, lease: dict) -> bool:
         """Execute one lease; ``False`` when the coordinator aborted."""
@@ -186,6 +192,10 @@ class SweepWorker:
         try:
             for cell in lease["cells"]:
                 message = self._execute_cell(runner, cell)
+                sent_key = (int(cell["index"]), str(cell["key"]))
+                if sent_key in self._sent_cells:
+                    message["resend"] = True
+                self._sent_cells.add(sent_key)
                 ack = self._exchange(conn, message)
                 if ack is None:
                     # Coordinator vanished mid-lease: surface as a torn

@@ -51,9 +51,12 @@ class ASAGARule(UpdateRule):
     def bind(self, loop):
         super().bind(loop)
         # Share the coordinator-owned HIST store: SAGA's channels appear
-        # in the run's history accounting and checkpoint surface.
+        # in the run's history accounting and checkpoint surface. The
+        # COMM manager rides along so SAGA's private broadcaster prices
+        # its model channel and prunes it at the watermark floor.
         self.state = SagaState(
-            self.opt.ctx, self.opt.problem, self.mode, store=self.history
+            self.opt.ctx, self.opt.problem, self.mode,
+            store=self.history, comm=loop.comm,
         )
 
     def setup(self, w):

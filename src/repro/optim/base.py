@@ -188,6 +188,10 @@ class DistributedOptimizer:
         #: A resolved :class:`~repro.cluster.faultplan.FaultPlan` driven
         #: against the backend while the server loop runs.
         self.fault_plan: Any = None
+        #: The run's :class:`~repro.comm.manager.CommManager` (collect
+        #: compression, delta broadcasting, byte ledger); ``None`` keeps
+        #: every pre-COMM byte path bit-exact.
+        self.comm: Any = None
 
     @property
     def barrier(self) -> SchedulingPolicy | None:

@@ -275,6 +275,17 @@ class ServerLoop:
             default_barrier=self.policy,
             pipeline_depth=opt.config.pipeline_depth,
         )
+        #: The run's COMM subsystem (``opt.comm``; spec ``compressor``):
+        #: installed on the scheduler path (collect-side codec), the
+        #: history broadcaster (delta fetches + watermark pruning) and
+        #: the plain broadcast manager (ledger), so every byte this run
+        #: puts on the wire lands in one ledger.
+        self.comm = getattr(opt, "comm", None)
+        self.ac.comm = self.comm
+        self.ac.broadcaster.comm = self.comm
+        # Unconditional: a reused ClusterContext must not keep a previous
+        # run's ledger attached to its broadcast manager.
+        opt.ctx.broadcast_manager.comm = self.comm
 
     def state_dict(self) -> dict:
         """JSON-safe checkpoint of the run's restartable server state."""
@@ -534,6 +545,11 @@ class ServerLoop:
         if any(state.values()):
             extras["run_state"] = state
         extras.update(rule.extras())
+        if self.comm is not None:
+            # The communication ledger: nested detail under "comm" plus
+            # flat scalar mirrors (comm_raw_bytes, comm_ratio, ...) that
+            # survive the summary layer's scalar filter.
+            extras.update(self.comm.extras())
 
         return RunResult(
             w=w,

@@ -66,6 +66,10 @@ class _HistoryHandle:
     def at(self, version: int) -> np.ndarray:
         return self._hb.value_at(version, current_env())
 
+    def report_watermark(self, scope: Any, version: int) -> None:
+        """Feed COMM's HIST watermark (no-op without a comm manager)."""
+        self._hb.report_watermark(scope, version)
+
 
 class _NaiveHandle:
     """Parameter resolver that ships the whole history table (expensive).
@@ -87,6 +91,9 @@ class _NaiveHandle:
 
     def at(self, version: int) -> np.ndarray:
         return self._table()[version]
+
+    def report_watermark(self, scope: Any, version: int) -> None:
+        """Naive mode ships the whole table anyway; nothing to prune."""
 
 
 class SagaState:
@@ -118,6 +125,7 @@ class SagaState:
         mode: BroadcastMode,
         channel: str | None = None,
         store: HistoryStore | None = None,
+        comm=None,
     ) -> None:
         if mode not in ("history", "naive"):
             raise OptimError(f"unknown SAGA broadcast mode {mode!r}")
@@ -129,6 +137,11 @@ class SagaState:
         self._avg = self.store.channel(f"{self.channel}/avg_hist", keep="last:1")
         self._avg.append(np.zeros(problem.dim))
         self.broadcaster = AsyncBroadcaster(ctx, store=self.store)
+        #: The run's CommManager: SAGA owns a private broadcaster (not
+        #: the ASYNCContext's), so the ledger / delta / watermark-prune
+        #: hooks must be threaded through explicitly.
+        self.comm = comm
+        self.broadcaster.comm = comm
         self._naive = (
             self.store.channel(f"{self.channel}/table", keep="all")
             if mode == "naive" else None
@@ -227,6 +240,10 @@ def saga_partition_kernel(
         g_old = g_old + problem.grad_sum(block.X[rows], block.y[rows], w_v)
 
     versions[idx] = handle.version
+    # This block will never again reference a version below its stored
+    # minimum: report it so COMM can prune the keep="all" model channel
+    # up to the floor across all blocks.
+    handle.report_watermark(block.block_id, int(versions.min()))
     # SAGA does two gradient passes over the batch (fresh + historical).
     record_cost(2.0 * sub.cost_units())
     return g_new, g_old, int(len(idx))
@@ -254,6 +271,12 @@ def initialize_history(
                 state.versions_key(block.block_id),
                 np.zeros(block.rows, dtype=np.int64),
             )
+        if state.comm is not None:
+            # Declare every block as a reader scope at version 0 before
+            # any watermark advances: the prune floor is a min over
+            # *registered* scopes, so an unregistered block could have
+            # its phi-versions pruned out from under it.
+            state.comm.register_scope(state.channel, block.block_id, 0)
         record_cost(block.cost_units())
         return problem.grad_sum(block.X, block.y, handle.current())
 

@@ -83,6 +83,45 @@ def _print_summary(summary: dict, prefix: str = "") -> None:
     )
 
 
+def _write_profile_json(stats, path: str, top_n: int = 25) -> None:
+    """Dump the profile's top functions as machine-readable JSON.
+
+    Two rankings — cumulative time (where a run's time goes, including
+    callees) and total time (which bodies are hot themselves) — each as
+    ``{file, line, function, calls, tottime_s, cumtime_s}`` rows, so a
+    regression in the engine's hot path diffs as JSON instead of a
+    pstats text dump.
+    """
+    import json
+
+    def rows(sort_key):
+        entries = sorted(
+            stats.stats.items(),
+            key=lambda item: sort_key(item[1]),
+            reverse=True,
+        )[:top_n]
+        return [
+            {
+                "file": func[0],
+                "line": func[1],
+                "function": func[2],
+                "calls": nc,
+                "tottime_s": tt,
+                "cumtime_s": ct,
+            }
+            for func, (cc, nc, tt, ct, callers) in entries
+        ]
+
+    record = {
+        "total_calls": stats.total_calls,
+        "total_time_s": stats.total_tt,
+        "top_cumulative": rows(lambda row: row[3]),
+        "top_tottime": rows(lambda row: row[2]),
+    }
+    with open(path, "w") as f:
+        json.dump(record, f, indent=2)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api.runner import prepare_experiment, summarize
 
@@ -110,7 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"snapshotting to {spec.snapshot_path} every "
             f"{spec.snapshot_every} update(s)"
         )
-    if args.profile is not None:
+    if args.profile is not None or args.profile_json is not None:
         # Profile only the engine (prepare/summarize stay outside): the
         # stats then answer "where does a run spend its time", which is
         # what the BENCH_engine numbers track.
@@ -128,6 +167,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.profile:
             stats.dump_stats(args.profile)
             print(f"profile stats written to {args.profile}")
+        if args.profile_json is not None:
+            _write_profile_json(stats, args.profile_json)
+            print(f"profile summary written to {args.profile_json}")
     else:
         result = prep.execute()
     summary = summarize(prep, result)
@@ -356,6 +398,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run under cProfile and print the top functions by "
              "cumulative time; with PATH, also dump the raw stats there "
              "for pstats/snakeviz",
+    )
+    p_run.add_argument(
+        "--profile-json", default=None, metavar="PATH",
+        help="profile the run and write the top functions by cumulative "
+             "and total time as JSON (implies profiling even without "
+             "--profile)",
     )
     p_run.set_defaults(fn=_cmd_run)
 

@@ -141,6 +141,7 @@ class PreparedExperiment:
             cost_model=self.cost_model,
             network=self.network,
             delay_model=self.delay_model,
+            metrics_retention=self.spec.metrics_retention,
         )
 
     @property
@@ -320,6 +321,7 @@ def prepare_experiment(
             granularity=spec.granularity,
             snapshot_every=spec.snapshot_every,
             snapshot_path=spec.snapshot_path,
+            fuse_tasks=spec.fuse_tasks,
         )
     except (TypeError, ValueError) as exc:
         # OptimError (bad values) is already a ReproError; this catches

@@ -105,6 +105,15 @@ class ExperimentSpec:
     #: ``delta`` key turns on delta broadcasting against HIST
     #: watermarks). ``None`` -> no comm subsystem (pre-COMM byte paths).
     compressor: Any = None
+    #: Fused task execution (async only): rounds of K >= 2 same-kernel
+    #: tasks run as one stacked host call on the simulation backend,
+    #: bit-identical by contract. ``False`` is the pinned escape hatch
+    #: back to strictly per-task execution.
+    fuse_tasks: bool = True
+    #: Task-metrics retention on the dispatcher: "all" (default),
+    #: "window:n" (most recent n rows), or "aggregate" (running totals
+    #: only — O(1) metrics state for million-update runs).
+    metrics_retention: str = "all"
 
     # -- serialization -----------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -128,6 +137,13 @@ class ExperimentSpec:
         for key in ("snapshot_path", "restore_from", "fault_plan", "compressor"):
             if out[key] is None:
                 del out[key]
+        # Engine performance knobs: default values are omitted so the
+        # canonical JSON (and checkpoint run keys) of every pre-existing
+        # spec stays byte-stable.
+        if out["fuse_tasks"]:
+            del out["fuse_tasks"]
+        if out["metrics_retention"] == "all":
+            del out["metrics_retention"]
         return out
 
     @classmethod

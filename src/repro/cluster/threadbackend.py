@@ -18,7 +18,7 @@ import threading
 import time
 from typing import Any, Callable
 
-from repro.cluster.backend import Backend, BackendTask, TaskMetrics
+from repro.cluster.backend import Backend, BackendTask, TaskBatch, TaskMetrics
 from repro.cluster.clock import WallClock
 from repro.cluster.stragglers import DelayModel, NoDelay
 from repro.errors import BackendError, WorkerLostError
@@ -79,6 +79,16 @@ class ThreadBackend(Backend):
         with self._cond:
             self._pending += 1
         self._queues[worker_id].put((task, self.clock.now()))
+
+    def submit_batch(self, batch: TaskBatch) -> None:
+        """Accept a :class:`TaskBatch` but keep real per-task execution.
+
+        Fused host execution only pays off (and only preserves timing
+        semantics) on the simulator; real threads execute each task's own
+        closure so wall-clock stragglers and concurrency stay genuine.
+        """
+        for task, worker_id in zip(batch.tasks, batch.worker_ids):
+            self.submit(task, worker_id)
 
     def pending_count(self) -> int:
         with self._cond:
@@ -158,9 +168,13 @@ class ThreadBackend(Backend):
         env = self.envs[worker_id]
         env.alive = False
         env.clear()
+        with self._cond:
+            self.members_epoch += 1
 
     def revive_worker(self, worker_id: int) -> None:
         self.envs[worker_id].alive = True
+        with self._cond:
+            self.members_epoch += 1
 
     def shutdown(self) -> None:
         if self._shutdown:

@@ -65,6 +65,18 @@ class CommManager:
         self._watermarks: dict[str, dict[Any, int]] = {}
         #: (channel name, worker id) -> last value that worker reconstructed.
         self._mirrors: dict[tuple[str, int], np.ndarray] = {}
+        # Delta-packet reuse: two workers whose mirrors followed the same
+        # reconstruction chain hold bitwise-equal mirrors, so the same
+        # version's delta compresses to the identical packet — encode it
+        # once and share the reconstruction. Chains are interned to small
+        # ids: (previous chain id, version) -> chain id.
+        self._path_ids: dict[tuple[int, int], int] = {}
+        #: (channel name, worker id) -> interned reconstruction-chain id.
+        self._mirror_paths: dict[tuple[str, int], int] = {}
+        #: (channel name, version, chain id) -> (recon, wire_bytes); holds
+        #: the current version's burst only.
+        self._delta_shared: dict[tuple[str, int, int], tuple[np.ndarray, int]] = {}
+        self._delta_shared_version: dict[str, int] = {}
 
     # -- construction ----------------------------------------------------------
     @classmethod
@@ -96,6 +108,25 @@ class CommManager:
         return self.compressor.lossy
 
     # -- collect path (worker -> server) ---------------------------------------
+    def encode_value(self, value: Any, env, partition: "int | None") -> Any:
+        """Worker-side encode of one reduced ``(acc, count)`` pair.
+
+        The single code path behind :meth:`wrap_task_fn` and the fused
+        round's per-task post hook, so fused and per-task execution run
+        byte-identical encodes (including error-feedback residual
+        updates and the codec's ``env.record_cost`` pricing).
+        """
+        if not (isinstance(value, tuple) and len(value) == 2):
+            return value
+        payload, count = value
+        if payload is None:
+            return value
+        enc = self.codec.encode(payload, env, partition)
+        units = self.codec_cost.units(enc.raw_bytes + enc.wire_bytes)
+        if units > 0.0:
+            env.record_cost(units)
+        return (enc, count)
+
     def wrap_task_fn(self, fn: Callable, partition: "int | None") -> Callable:
         """Encode the reduced ``(acc, count)`` pair on the worker.
 
@@ -104,20 +135,9 @@ class CommManager:
         """
         if not self.compresses:
             return fn
-        codec, cost = self.codec, self.codec_cost
 
         def encoded(env):
-            value = fn(env)
-            if not (isinstance(value, tuple) and len(value) == 2):
-                return value
-            payload, count = value
-            if payload is None:
-                return value
-            enc = codec.encode(payload, env, partition)
-            units = cost.units(enc.raw_bytes + enc.wire_bytes)
-            if units > 0.0:
-                env.record_cost(units)
-            return (enc, count)
+            return self.encode_value(fn(env), env, partition)
 
         return encoded
 
@@ -161,22 +181,51 @@ class CommManager:
             mirror = self._mirrors.get(key)
             if mirror is None or mirror.shape != value.shape:
                 self._mirrors[key] = value.astype(np.float64, copy=True)
+                self._mirror_paths[key] = self._intern_path(0, int(version))
                 self.ledger.record("broadcast", raw, raw)
                 return exact, raw
-            delta = value.astype(np.float64, copy=False) - mirror
-            rng = None
-            if self.compressor.needs_rng:
-                rng = np.random.default_rng(
-                    [self.seed, env.worker_id, int(version) & 0x7FFFFFFF]
+            path = self._mirror_paths.get(key, 0)
+            # Per-worker rng streams (randk) make packets worker-specific;
+            # deterministic compressors share them across equal chains.
+            shareable = not self.compressor.needs_rng
+            cache_key = (channel.name, int(version), path)
+            hit = self._delta_shared.get(cache_key) if shareable else None
+            if hit is not None:
+                recon, wire = hit
+            else:
+                delta = value.astype(np.float64, copy=False) - mirror
+                rng = None
+                if self.compressor.needs_rng:
+                    rng = np.random.default_rng(
+                        [self.seed, env.worker_id, int(version) & 0x7FFFFFFF]
+                    )
+                packet = self.compressor.compress(delta, rng=rng)
+                recon = mirror + self.compressor.decompress(packet).astype(
+                    np.float64, copy=False
                 )
-            packet = self.compressor.compress(delta, rng=rng)
-            recon = mirror + self.compressor.decompress(packet).astype(
-                np.float64, copy=False
-            )
+                wire = packet.wire_bytes
+                if shareable:
+                    if self._delta_shared_version.get(channel.name) != int(
+                        version
+                    ):
+                        self._delta_shared = {
+                            k: v for k, v in self._delta_shared.items()
+                            if k[0] != channel.name
+                        }
+                        self._delta_shared_version[channel.name] = int(version)
+                    self._delta_shared[cache_key] = (recon, wire)
             self._mirrors[key] = recon
-            wire = packet.wire_bytes
+            self._mirror_paths[key] = self._intern_path(path, int(version))
         self.ledger.record("broadcast", raw, wire)
         return recon.astype(value.dtype, copy=False), wire
+
+    def _intern_path(self, prev: int, version: int) -> int:
+        """Intern one reconstruction-chain step to a small id."""
+        step = (prev, version)
+        got = self._path_ids.get(step)
+        if got is None:
+            got = self._path_ids[step] = len(self._path_ids) + 1
+        return got
 
     # -- HIST watermarks --------------------------------------------------------
     def register_scope(self, channel: str, scope: Any, version: int = 0) -> None:

@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.api.registry import register_optimizer
 from repro.core.barriers import ASP
+from repro.data.blocks import stack_blocks
+from repro.engine.matrix import StackedKernel
 from repro.optim.base import DistributedOptimizer, RunResult, bc_value
 from repro.optim.loop import ServerLoop, UpdateRule
 from repro.optim.reducers import add_pairs, fold_steps, stack_pairs
@@ -31,6 +33,10 @@ __all__ = ["AsyncSGD", "ASGDRule"]
 
 class ASGDRule(UpdateRule):
     """ASGD mathematics: gradient partials in, one SGD step per result."""
+
+    # publish is ctx.broadcast(w) — pure in the version, so the loop may
+    # reuse the handle when a round republishes an unchanged model.
+    publish_cacheable = True
 
     def publish(self, w):
         return self.opt.ctx.broadcast(w)
@@ -44,6 +50,22 @@ class ASGDRule(UpdateRule):
             problem.grad_sum(block.X, block.y, bc_value(handle)),
             block.rows,
         )
+
+    def make_kernel(self, handle, seed):
+        problem = self.opt.problem
+
+        def fn(block):
+            return (
+                problem.grad_sum(block.X, block.y, bc_value(handle)),
+                block.rows,
+            )
+
+        def batch(w, blocks):
+            X, y, bounds = stack_blocks(blocks)
+            grads = problem.grad_sum_stacked(X, y, w, bounds)
+            return [(g, b.rows) for g, b in zip(grads, blocks)]
+
+        return StackedKernel(fn, lambda env: handle.value(env), batch)
 
     reduce = staticmethod(add_pairs)
 

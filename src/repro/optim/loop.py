@@ -89,6 +89,12 @@ class UpdateRule:
     #: decides where the discount belongs, and scaling alpha too would
     #: double-damp every discounted result.
     weight_aware = False
+    #: Whether :meth:`publish` is a pure function of the model version —
+    #: no per-round side effects — so the loop may reuse the previous
+    #: handle when a round republishes an unchanged version (the
+    #: version-keyed broadcast payload cache). Rules whose publish does
+    #: per-round work (history appends, channel pruning) keep this False.
+    publish_cacheable = False
 
     def bind(self, loop: "ServerLoop") -> None:
         self.loop = loop
@@ -126,6 +132,18 @@ class UpdateRule:
         """Worker-side computation for one data block."""
         raise NotImplementedError
 
+    def make_kernel(self, handle, seed: int):
+        """Build the per-block map kernel for one round.
+
+        The default wraps :meth:`kernel` in a plain closure. Rules whose
+        block mathematics has an exact stacked form return a
+        :class:`~repro.engine.matrix.StackedKernel` instead, which lets
+        the scheduler execute a multi-task round as one fused host call
+        (``AsyncScheduler.fuse_tasks``). The stacked path's contract is
+        strict bit-identity with the scalar one.
+        """
+        return lambda block: self.kernel(block, handle, seed)
+
     def reduce(self, a, b):
         """Combine two worker-local partial results."""
         raise NotImplementedError
@@ -141,9 +159,7 @@ class UpdateRule:
         frac = self.sample_fraction()
         if frac is not None:
             gated = gated.sample(frac, seed=seed)
-        gated.map(
-            lambda block, _h=handle, _s=seed: self.kernel(block, _h, _s)
-        ).async_reduce(
+        gated.map(self.make_kernel(handle, seed)).async_reduce(
             self.reduce, self.loop.ac, self.effective_granularity()
         )
 
@@ -283,6 +299,10 @@ class ServerLoop:
         self.comm = getattr(opt, "comm", None)
         self.ac.comm = self.comm
         self.ac.broadcaster.comm = self.comm
+        #: Fused task execution (one stacked host call per multi-task
+        #: round, bit-identical by contract). ``fuse_tasks=False`` in the
+        #: config is the pinned escape hatch back to per-task execution.
+        self.ac.scheduler.fuse_tasks = bool(getattr(cfg, "fuse_tasks", True))
         # Unconditional: a reused ClusterContext must not keep a previous
         # run's ledger attached to its broadcast manager.
         opt.ctx.broadcast_manager.comm = self.comm
@@ -405,6 +425,7 @@ class ServerLoop:
         )
         pending: list = []
         pending_alphas: list = []
+        published: "tuple[int, Any] | None" = None
 
         def flush() -> None:
             nonlocal w
@@ -476,7 +497,21 @@ class ServerLoop:
                 rule.begin_epoch(w)
                 epoch_rounds_left = rule.epoch_length
             seed = rule.round_seed(rounds)
-            handle = rule.publish(w)
+            # Version-keyed broadcast payload cache: a round that
+            # republishes an unchanged model version reuses the previous
+            # handle (no new broadcast registration, no worker re-fetch
+            # of a value it already holds). Only for rules whose publish
+            # is a pure function of the version.
+            version = ac.stat.current_version
+            if (
+                rule.publish_cacheable
+                and published is not None
+                and published[0] == version
+            ):
+                handle = published[1]
+            else:
+                handle = rule.publish(w)
+                published = (version, handle)
             rule.dispatch(handle, seed)
             rounds += 1
             epoch_rounds_left -= 1
@@ -509,6 +544,7 @@ class ServerLoop:
             ),
             "granularity": rule.effective_granularity(),
             "partition_tasks": ac.scheduler.partition_tasks_submitted,
+            "fused_rounds": ac.scheduler.fused_rounds,
             "policy": self.policy.describe(),
             "migrations": ac.migrations,
         }

@@ -18,7 +18,7 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["RngFactory", "spawn_generator", "stable_hash"]
+__all__ = ["LazyRng", "RngFactory", "spawn_generator", "stable_hash"]
 
 
 def stable_hash(parts: Iterable[object]) -> int:
@@ -44,6 +44,35 @@ def spawn_generator(seed: int, *key: object) -> np.random.Generator:
     return np.random.Generator(np.random.PCG64(ss))
 
 
+class LazyRng:
+    """Deferred :func:`spawn_generator`: the stream is only materialized on
+    first use.
+
+    Seeding a ``Generator`` costs tens of microseconds — far more than the
+    draw itself — and most backend streams (network jitter, cost noise) go
+    entirely unused under the deterministic default models. A ``LazyRng``
+    stands in for the Generator at zero construction cost; any attribute
+    access (``rng.normal``, ``rng.choice``, ...) builds the real stream,
+    which is bit-identical to calling :func:`spawn_generator` eagerly.
+    """
+
+    __slots__ = ("_seed", "_key", "_rng")
+
+    def __init__(self, seed: int, key: tuple) -> None:
+        self._seed = seed
+        self._key = key
+        self._rng = None
+
+    def materialize(self) -> np.random.Generator:
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = spawn_generator(self._seed, *self._key)
+        return rng
+
+    def __getattr__(self, name: str):
+        return getattr(self.materialize(), name)
+
+
 class RngFactory:
     """Factory of named, independent random streams under one root seed.
 
@@ -66,6 +95,11 @@ class RngFactory:
     def get(self, *key: object) -> np.random.Generator:
         """Return a fresh Generator for the given structured key."""
         return spawn_generator(self.seed, *key)
+
+    def lazy(self, *key: object) -> LazyRng:
+        """Like :meth:`get`, but the stream is only seeded if it is drawn
+        from — same values when used, free when not."""
+        return LazyRng(self.seed, key)
 
     def child(self, *key: object) -> "RngFactory":
         """Derive a sub-factory whose streams are independent of this one."""
